@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation A1 (DESIGN.md §5): AGB capacity sweep.  The paper sizes the
+ * AGB at 10 KiB per channel (160 lines) and claims it "can be easily
+ * reduced to one eighth (1.25 KiB) without significantly impacting
+ * performance" (§I).  The sweep measures TSOPER execution time as the
+ * per-slice capacity shrinks; the AG hard cap shrinks with it when the
+ * capacity falls below 80 lines.
+ */
+
+#include "bench_util.hh"
+
+using namespace tsoper;
+using namespace tsoper::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseOptions(argc, argv);
+    const std::vector<unsigned> sliceLines = {320, 160, 80, 40, 20};
+    std::printf("Ablation A1 — TSOPER vs AGB slice capacity "
+                "(normalized to 160-line slices = 10 KiB/channel, "
+                "scale=%.2f)\n\n", opt.scale);
+    std::vector<std::string> headers;
+    for (unsigned lines : sliceLines)
+        headers.push_back(std::to_string(lines * lineBytes / 1024) +
+                          "KiB");
+    printHeader("benchmark", headers);
+    std::vector<std::vector<double>> perSize(sliceLines.size());
+    for (const std::string &bench : opt.benchmarks) {
+        double base = 0.0;
+        std::vector<double> cols;
+        for (std::size_t i = 0; i < sliceLines.size(); ++i) {
+            const unsigned lines = sliceLines[i];
+            const Run run = runSystem(EngineKind::Tsoper, bench, opt,
+                                      [lines](SystemConfig &cfg) {
+                cfg.agbSliceLines = lines;
+                cfg.agMaxLines = std::min(cfg.agMaxLines, lines);
+            });
+            if (lines == 160)
+                base = static_cast<double>(run.cycles);
+            cols.push_back(static_cast<double>(run.cycles));
+        }
+        for (std::size_t i = 0; i < cols.size(); ++i) {
+            cols[i] /= base;
+            perSize[i].push_back(cols[i]);
+        }
+        printRow(bench, cols);
+    }
+    std::vector<double> gmeans;
+    for (auto &v : perSize)
+        gmeans.push_back(geomean(v));
+    std::printf("%.*s\n", 64, "----------------------------------------"
+                              "------------------------");
+    printRow("gmean", gmeans);
+    std::printf("\npaper claim: 1.25 KiB per channel performs close to "
+                "10 KiB.\n");
+    return 0;
+}

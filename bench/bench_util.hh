@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Shared scaffolding for the figure/table reproduction benches: run a
+ * (system, benchmark) pair, collect statistics, print aligned tables.
+ *
+ * Every bench accepts:
+ *   --scale=<f>    workload size multiplier (default 0.3; 1.0 = full)
+ *   --seed=<n>     workload seed (default 1)
+ *   --bench=a,b,c  restrict to a benchmark subset
+ */
+
+#ifndef TSOPER_BENCH_BENCH_UTIL_HH
+#define TSOPER_BENCH_BENCH_UTIL_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "workload/generators.hh"
+
+namespace tsoper::bench
+{
+
+struct Options
+{
+    double scale = 0.3;
+    std::uint64_t seed = 1;
+    std::vector<std::string> benchmarks = benchmarkNames();
+};
+
+inline Options
+parseOptions(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--scale=", 0) == 0) {
+            opt.scale = std::stod(arg.substr(8));
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            opt.seed = std::stoull(arg.substr(7));
+        } else if (arg.rfind("--bench=", 0) == 0) {
+            opt.benchmarks.clear();
+            std::string list = arg.substr(8);
+            std::size_t pos = 0;
+            while (pos != std::string::npos) {
+                const std::size_t comma = list.find(',', pos);
+                opt.benchmarks.push_back(
+                    list.substr(pos, comma == std::string::npos
+                                         ? comma
+                                         : comma - pos));
+                pos = comma == std::string::npos ? comma : comma + 1;
+            }
+        } else if (arg == "--help") {
+            std::printf("options: --scale=<f> --seed=<n> --bench=a,b,c\n");
+            std::exit(0);
+        }
+    }
+    return opt;
+}
+
+/** One completed simulation, kept alive for stats inspection. */
+struct Run
+{
+    Workload workload;
+    std::unique_ptr<System> sys;
+    Cycle cycles = 0;
+};
+
+inline Run
+runSystem(EngineKind engine, const std::string &benchName,
+          const Options &opt,
+          const std::function<void(SystemConfig &)> &tweak = {})
+{
+    SystemConfig cfg = makeConfig(engine);
+    if (tweak)
+        tweak(cfg);
+    Run run;
+    run.workload =
+        generateByName(benchName, cfg.numCores, opt.seed, opt.scale);
+    run.sys = std::make_unique<System>(cfg, run.workload);
+    run.cycles = run.sys->run();
+    return run;
+}
+
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double v : values)
+        logSum += std::log(v);
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+/** Print one row: a left-justified label plus numeric columns. */
+inline void
+printRow(const std::string &label, const std::vector<double> &cols)
+{
+    std::printf("%-14s", label.c_str());
+    for (double v : cols)
+        std::printf(" %9.3f", v);
+    std::printf("\n");
+}
+
+inline void
+printHeader(const std::string &label,
+            const std::vector<std::string> &cols)
+{
+    std::printf("%-14s", label.c_str());
+    for (const auto &c : cols)
+        std::printf(" %9s", c.c_str());
+    std::printf("\n");
+}
+
+} // namespace tsoper::bench
+
+#endif // TSOPER_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reproduces Fig. 11: application execution time of HW-RP, BSP, STW
+ * and TSOPER, normalized to the SLC baseline, per benchmark plus the
+ * geometric mean.
+ *
+ * Expected shape (paper): STW worst (avg +53%); BSP next (avg +22%);
+ * TSOPER (avg +10%) close to HW-RP (avg +7%).
+ */
+
+#include "bench_util.hh"
+
+using namespace tsoper;
+using namespace tsoper::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseOptions(argc, argv);
+    const std::vector<EngineKind> systems = {
+        EngineKind::HwRp, EngineKind::Bsp, EngineKind::Stw,
+        EngineKind::Tsoper};
+
+    std::printf("Fig. 11 — execution time normalized to the SLC "
+                "baseline (scale=%.2f)\n\n", opt.scale);
+    printHeader("benchmark", {"HW-RP", "BSP", "STW", "TSOPER"});
+
+    std::vector<std::vector<double>> perSystem(systems.size());
+    for (const std::string &bench : opt.benchmarks) {
+        const Run base = runSystem(EngineKind::None, bench, opt);
+        std::vector<double> cols;
+        for (std::size_t s = 0; s < systems.size(); ++s) {
+            const Run run = runSystem(systems[s], bench, opt);
+            const double norm = static_cast<double>(run.cycles) /
+                                static_cast<double>(base.cycles);
+            cols.push_back(norm);
+            perSystem[s].push_back(norm);
+        }
+        printRow(bench, cols);
+    }
+    std::vector<double> gmeans;
+    for (auto &v : perSystem)
+        gmeans.push_back(geomean(v));
+    std::printf("%.*s\n", 54, "----------------------------------------"
+                              "--------------");
+    printRow("gmean", gmeans);
+    std::printf("\npaper gmeans:  HW-RP ~1.07   BSP ~1.22   STW ~1.53"
+                "   TSOPER ~1.10\n");
+    return 0;
+}

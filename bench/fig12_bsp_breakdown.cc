@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reproduces Fig. 12: stepping stones from BSP to TSOPER — BSP,
+ * BSP+SLC (multiversioning removes L1 exclusion), BSP+SLC+AGB
+ * (unbounded AGB removes LLC exclusion), and TSOPER, normalized to
+ * TSOPER.
+ *
+ * Expected shape (paper): monotone improvement BSP -> +SLC -> +AGB ->
+ * TSOPER; +SLC buys ~3% avg, +AGB ~7% avg, the final epoch-size gap
+ * ~3-5%.
+ */
+
+#include "bench_util.hh"
+
+using namespace tsoper;
+using namespace tsoper::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseOptions(argc, argv);
+    const std::vector<EngineKind> systems = {
+        EngineKind::Bsp, EngineKind::BspSlc, EngineKind::BspSlcAgb};
+
+    std::printf("Fig. 12 — execution time normalized to TSOPER "
+                "(scale=%.2f)\n\n", opt.scale);
+    printHeader("benchmark",
+                {"BSP", "BSP+SLC", "+SLC+AGB", "TSOPER"});
+
+    std::vector<std::vector<double>> perSystem(systems.size() + 1);
+    for (const std::string &bench : opt.benchmarks) {
+        const Run tsoper = runSystem(EngineKind::Tsoper, bench, opt);
+        std::vector<double> cols;
+        for (std::size_t s = 0; s < systems.size(); ++s) {
+            const Run run = runSystem(systems[s], bench, opt);
+            const double norm = static_cast<double>(run.cycles) /
+                                static_cast<double>(tsoper.cycles);
+            cols.push_back(norm);
+            perSystem[s].push_back(norm);
+        }
+        cols.push_back(1.0);
+        perSystem.back().push_back(1.0);
+        printRow(bench, cols);
+    }
+    std::vector<double> gmeans;
+    for (auto &v : perSystem)
+        gmeans.push_back(geomean(v));
+    std::printf("%.*s\n", 54, "----------------------------------------"
+                              "--------------");
+    printRow("gmean", gmeans);
+    return 0;
+}

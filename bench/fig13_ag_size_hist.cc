@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reproduces Fig. 13: the cumulative histogram of atomic-group sizes
+ * (in cachelines) under TSOPER across all benchmarks.
+ *
+ * Expected shape (paper): AGs are overwhelmingly small — ~90% under 10
+ * cachelines, and fewer than 1% would exceed the 80-line cap.
+ */
+
+#include "bench_util.hh"
+
+using namespace tsoper;
+using namespace tsoper::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseOptions(argc, argv);
+
+    Histogram merged;
+    std::printf("Fig. 13 — atomic group size cumulative histogram "
+                "(scale=%.2f)\n\n", opt.scale);
+    printHeader("benchmark", {"AGs", "mean", "p50", "p90", "p99",
+                              "max", "<=10", ">=80"});
+    for (const std::string &bench : opt.benchmarks) {
+        // The cap must not truncate the distribution we want to see:
+        // measure with a generous cap, report the 80-line tail.
+        const Run run = runSystem(EngineKind::Tsoper, bench, opt,
+                                  [](SystemConfig &cfg) {
+            cfg.agMaxLines = 512;
+            cfg.agbSliceLines = 1024;
+        });
+        const Histogram &h = run.sys->stats().histogram("ag.size");
+        for (const auto &[value, count] : h.buckets())
+            merged.add(value, count);
+        printRow(bench,
+                 {static_cast<double>(h.samples()), h.mean(),
+                  static_cast<double>(h.percentile(0.5)),
+                  static_cast<double>(h.percentile(0.9)),
+                  static_cast<double>(h.percentile(0.99)),
+                  static_cast<double>(h.max()), h.cumulativeAt(10),
+                  1.0 - h.cumulativeAt(79)});
+    }
+
+    std::printf("\ncumulative distribution over all benchmarks:\n");
+    std::printf("  %8s %12s\n", "size", "cumulative");
+    for (std::uint64_t s : {1, 2, 3, 5, 8, 10, 16, 24, 32, 48, 64, 80,
+                            128}) {
+        std::printf("  %8llu %11.1f%%\n",
+                    static_cast<unsigned long long>(s),
+                    100.0 * merged.cumulativeAt(s));
+    }
+    std::printf("\npaper: ~90%% of AGs under 10 lines; <1%% above 80 "
+                "lines.\n");
+    std::printf("measured: %.1f%% <= 10 lines; %.2f%% >= 80 lines\n",
+                100.0 * merged.cumulativeAt(10),
+                100.0 * (1.0 - merged.cumulativeAt(79)));
+    return 0;
+}

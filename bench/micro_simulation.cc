@@ -1,0 +1,64 @@
+/**
+ * @file
+ * google-benchmark end-to-end simulator throughput: simulated cycles
+ * and memory operations per host second for representative
+ * (system, workload) pairs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/system.hh"
+#include "workload/generators.hh"
+
+using namespace tsoper;
+
+static void
+runPair(benchmark::State &state, EngineKind engine, const char *bench)
+{
+    const SystemConfig cfg = makeConfig(engine);
+    const Workload w = generateByName(bench, cfg.numCores, 1, 0.05);
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        System sys(cfg, w);
+        benchmark::DoNotOptimize(sys.run());
+        ops += w.totalOps();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+
+static void
+BM_SimTsoperOcean(benchmark::State &state)
+{
+    runPair(state, EngineKind::Tsoper, "ocean_cp");
+}
+BENCHMARK(BM_SimTsoperOcean);
+
+static void
+BM_SimTsoperRadix(benchmark::State &state)
+{
+    runPair(state, EngineKind::Tsoper, "radix");
+}
+BENCHMARK(BM_SimTsoperRadix);
+
+static void
+BM_SimBaselineOcean(benchmark::State &state)
+{
+    runPair(state, EngineKind::None, "ocean_cp");
+}
+BENCHMARK(BM_SimBaselineOcean);
+
+static void
+BM_SimBspOcean(benchmark::State &state)
+{
+    runPair(state, EngineKind::Bsp, "ocean_cp");
+}
+BENCHMARK(BM_SimBspOcean);
+
+static void
+BM_SimHwRpDedup(benchmark::State &state)
+{
+    runPair(state, EngineKind::HwRp, "dedup");
+}
+BENCHMARK(BM_SimHwRpDedup);
+
+BENCHMARK_MAIN();

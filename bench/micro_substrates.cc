@@ -1,0 +1,105 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks for the simulator substrates: the
+ * event kernel, tag arrays, the NoC router, the RNG and the histogram.
+ * These bound the simulator's own throughput (host-side performance),
+ * not the simulated machine.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mem/cache_array.hh"
+#include "noc/mesh.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+using namespace tsoper;
+
+static void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < state.range(0); ++i)
+            eq.schedule(static_cast<Cycle>(i), [&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+static void
+BM_EventQueueChained(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        std::int64_t remaining = state.range(0);
+        std::function<void()> tick = [&] {
+            if (--remaining > 0)
+                eq.scheduleIn(1, tick);
+        };
+        eq.scheduleIn(1, tick);
+        eq.run();
+        benchmark::DoNotOptimize(remaining);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueChained)->Arg(16384);
+
+static void
+BM_CacheArrayInsertTouch(benchmark::State &state)
+{
+    CacheArray array(1024, 8);
+    Rng rng(1);
+    for (auto _ : state) {
+        const LineAddr line = rng.below(1u << 14);
+        benchmark::DoNotOptimize(array.insert(line));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheArrayInsertTouch);
+
+static void
+BM_MeshRoute(benchmark::State &state)
+{
+    SystemConfig cfg;
+    StatsRegistry stats;
+    Mesh mesh(cfg, stats);
+    Rng rng(2);
+    Cycle now = 0;
+    for (auto _ : state) {
+        const int src = static_cast<int>(rng.below(16));
+        const int dst = static_cast<int>(rng.below(16));
+        benchmark::DoNotOptimize(mesh.route(src, dst, 72, now));
+        ++now;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MeshRoute);
+
+static void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNext);
+
+static void
+BM_HistogramAdd(benchmark::State &state)
+{
+    Histogram h;
+    Rng rng(4);
+    for (auto _ : state)
+        h.add(rng.below(80));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramAdd);
+
+BENCHMARK_MAIN();

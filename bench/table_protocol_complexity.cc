@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces the §V protocol-complexity comparison: the paper reports
+ * its SLICC SLC implementation against MOESI_CMP_directory (15 vs 25
+ * base states, 24 vs 64 transient states, 133 vs 127 actions, 148 vs
+ * 264 transitions).  Our transaction-atomic model has no transient
+ * states by construction; we report the stable-state/action counts of
+ * our implementations next to the paper's SLICC numbers.
+ */
+
+#include <cstdio>
+
+#include "coherence/mesi.hh"
+#include "coherence/slc.hh"
+#include "mem/llc.hh"
+#include "mem/nvm.hh"
+#include "noc/mesh.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+using namespace tsoper;
+
+int
+main()
+{
+    SystemConfig cfg;
+    EventQueue eq;
+    StatsRegistry stats;
+    Mesh mesh(cfg, stats);
+    Nvm nvm(cfg, eq, stats);
+    Llc llc(cfg, nvm, stats);
+    SlcProtocol slc(cfg, eq, mesh, llc, nvm, stats);
+    MesiProtocol mesi(cfg, eq, mesh, llc, nvm, stats);
+
+    std::printf("Protocol complexity (this model vs the paper's SLICC "
+                "implementations)\n\n");
+    std::printf("%-28s %10s %10s\n", "", "SLC", "MESI/MOESI");
+    const auto s = slc.complexity();
+    const auto m = mesi.complexity();
+    std::printf("%-28s %10d %10d\n", "model stable states",
+                s.stableStates, m.stableStates);
+    std::printf("%-28s %10d %10d\n", "model request types",
+                s.requestTypes, m.requestTypes);
+    std::printf("%-28s %10d %10d\n", "model protocol actions",
+                s.protocolActions, m.protocolActions);
+    std::printf("\npaper (SLICC SLC vs MOESI_CMP_directory):\n");
+    std::printf("%-28s %10d %10d\n", "base states", 15, 25);
+    std::printf("%-28s %10d %10d\n", "transient states", 24, 64);
+    std::printf("%-28s %10d %10d\n", "SLICC actions", 133, 127);
+    std::printf("%-28s %10d %10d\n", "SLICC transitions", 148, 264);
+    std::printf("\ntakeaway (paper + model): sharing-list coherence is "
+                "no more complex than a\nconventional directory "
+                "protocol; it trades transient-state complexity for\n"
+                "list-pointer maintenance.\n");
+    return 0;
+}

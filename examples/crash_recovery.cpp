@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Crash injection and recovery audit — the paper's core guarantee,
+ * demonstrated end to end.
+ *
+ *   $ ./build/examples/crash_recovery [crash_cycle]
+ *
+ * Runs the same workload twice on TSOPER: once to completion, once
+ * crashed cold at an arbitrary cycle.  The durable state reconstructed
+ * after the crash (NVM image + the committed prefix of the AGB) is
+ * audited against the recorded execution: it must be a downward-closed
+ * cut of the store order under TSO — per-core program order, per-word
+ * coherence order, reads-from dependencies, and atomic-group
+ * atomicity.  For contrast, the same crash under HW-RP is audited
+ * against the weaker SFR contract.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/crash_checker.hh"
+#include "core/system.hh"
+#include "workload/generators.hh"
+
+using namespace tsoper;
+
+namespace
+{
+
+void
+auditCrash(EngineKind engine, PersistModel model, const Workload &w,
+           Cycle crashAt)
+{
+    SystemConfig cfg = makeConfig(engine);
+    cfg.recordStores = true;
+    System sys(cfg, w);
+    const auto durable = sys.runUntilCrash(crashAt);
+    const CheckResult res = checkDurableState(durable, sys.storeLog(),
+                                              model, cfg.numCores);
+    std::size_t words = 0;
+    for (const auto &[line, lw] : durable) {
+        (void)line;
+        for (StoreId id : lw)
+            words += (id != invalidStore) ? 1 : 0;
+    }
+    std::printf("  %-7s crash@%-8llu durable-words=%-6zu required-"
+                "stores=%-6zu -> %s\n",
+                toString(engine),
+                static_cast<unsigned long long>(crashAt), words,
+                res.requiredStores, res.ok ? "CONSISTENT" : "VIOLATION");
+    if (!res.ok)
+        std::printf("    detail: %s\n", res.detail.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SystemConfig cfg = makeConfig(EngineKind::Tsoper);
+    const Workload w =
+        generateByName("canneal", cfg.numCores, 7, 0.08);
+
+    // Learn the run length, then crash at several points.
+    Cycle full = 0;
+    {
+        System sys(cfg, w);
+        full = sys.run();
+    }
+    std::printf("full run: %llu cycles\n\n",
+                static_cast<unsigned long long>(full));
+
+    if (argc > 1) {
+        const Cycle at = std::stoull(argv[1]);
+        auditCrash(EngineKind::Tsoper, PersistModel::StrictTso, w, at);
+        return 0;
+    }
+
+    std::printf("strict TSO persistency (TSOPER) — any crash point "
+                "yields a legal TSO cut:\n");
+    for (unsigned i = 1; i <= 6; ++i)
+        auditCrash(EngineKind::Tsoper, PersistModel::StrictTso, w,
+                   full * i / 7);
+
+    std::printf("\nnaive strict persistency (STW) — also correct, just "
+                "slow:\n");
+    auditCrash(EngineKind::Stw, PersistModel::StrictTso, w, full / 2);
+
+    std::printf("\nrelaxed persistency (HW-RP) audited against its own "
+                "(weaker) SFR contract:\n");
+    auditCrash(EngineKind::HwRp, PersistModel::RelaxedSfr, w, full / 2);
+
+    std::printf("\nrelaxed persistency audited against *strict TSO* — "
+                "showing what TSOPER\nguarantees and a relaxed model "
+                "does not (a violation here is expected):\n");
+    auditCrash(EngineKind::HwRp, PersistModel::StrictTso, w, full / 2);
+    return 0;
+}

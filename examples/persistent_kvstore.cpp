@@ -1,0 +1,138 @@
+/**
+ * @file
+ * A persistent key-value store on TSOPER — a hand-written workload
+ * (no generator) showing how unmodified TSO software gets crash
+ * consistency for free, and how §II-D marker stores give software
+ * control over atomic-group boundaries.
+ *
+ * The "application": each core updates records of a shared hash table.
+ * An update writes the record's two value words, then a version word —
+ * ordinary TSO code, exactly how a log-free store would be written for
+ * volatile memory.  Under strict TSO persistency, after *any* crash a
+ * record whose version word is durable is guaranteed to have both
+ * value words durable too (the version write is program-ordered after
+ * them).  The audit checks precisely this invariant on the durable
+ * image.
+ */
+
+#include <cstdio>
+
+#include "core/crash_checker.hh"
+#include "core/system.hh"
+#include "sim/rng.hh"
+#include "workload/trace.hh"
+
+using namespace tsoper;
+
+namespace
+{
+
+constexpr unsigned kRecords = 512;
+constexpr unsigned kUpdatesPerCore = 220;
+
+/** Record r: word addresses of (value0, value1, version). */
+Addr
+recordWord(unsigned record, unsigned word)
+{
+    // One record per cacheline-half; spread across the shared region.
+    return layout::sharedAddr(record * 4 + word);
+}
+
+Workload
+buildKvWorkload(unsigned cores, std::uint64_t seed)
+{
+    Workload w;
+    w.name = "kvstore";
+    w.perCore.resize(cores);
+    w.numLocks = 64;
+    for (unsigned c = 0; c < cores; ++c) {
+        Rng rng(seed * 31 + c);
+        Trace &t = w.perCore[c];
+        for (unsigned u = 0; u < kUpdatesPerCore; ++u) {
+            const unsigned r = static_cast<unsigned>(rng.below(kRecords));
+            const unsigned lock = r % w.numLocks;
+            t.push_back({OpType::LockAcq, layout::lockAddr(lock), lock});
+            t.push_back({OpType::Load, recordWord(r, 2), 0});  // version
+            t.push_back({OpType::Store, recordWord(r, 0), 0}); // value0
+            t.push_back({OpType::Store, recordWord(r, 1), 0}); // value1
+            t.push_back({OpType::Store, recordWord(r, 2), 0}); // version
+            // §II-D: a marker store freezes the current atomic group,
+            // bounding how much of the update stream one AG may span —
+            // the hook software-defined epochs would use.
+            if (u % 16 == 15)
+                t.push_back({OpType::Marker, 0, 0});
+            t.push_back({OpType::LockRel, layout::lockAddr(lock), lock});
+            t.push_back({OpType::Compute, 0,
+                         static_cast<std::uint32_t>(rng.range(2, 12))});
+        }
+    }
+    return w;
+}
+
+/** Is every version-durable record fully durable? */
+bool
+auditRecords(const std::unordered_map<LineAddr, LineWords> &durable)
+{
+    unsigned committed = 0, torn = 0;
+    for (unsigned r = 0; r < kRecords; ++r) {
+        const Addr va = recordWord(r, 2);
+        auto it = durable.find(lineOf(va));
+        if (it == durable.end() ||
+            it->second[wordOf(va)] == invalidStore)
+            continue; // Version never durable: record not committed.
+        ++committed;
+        for (unsigned wd = 0; wd < 2; ++wd) {
+            const Addr a = recordWord(r, wd);
+            auto vit = durable.find(lineOf(a));
+            if (vit == durable.end() ||
+                vit->second[wordOf(a)] == invalidStore) {
+                ++torn;
+                std::printf("    TORN record %u: version durable but "
+                            "value%u missing\n", r, wd);
+            }
+        }
+    }
+    std::printf("    committed records: %u, torn: %u\n", committed,
+                torn);
+    return torn == 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    SystemConfig cfg = makeConfig(EngineKind::Tsoper);
+    cfg.recordStores = true;
+    const Workload w = buildKvWorkload(cfg.numCores, 11);
+    std::printf("persistent KV store: %zu updates across %u cores\n",
+                w.totalOps() / 7, cfg.numCores);
+
+    Cycle full = 0;
+    {
+        System sys(cfg, w);
+        full = sys.run();
+    }
+
+    bool allOk = true;
+    for (unsigned i = 1; i <= 5; ++i) {
+        const Cycle crashAt = full * i / 6;
+        System sys(cfg, w);
+        const auto durable = sys.runUntilCrash(crashAt);
+        std::printf("  crash @ %llu:\n",
+                    static_cast<unsigned long long>(crashAt));
+        const bool recordsOk = auditRecords(durable);
+        const CheckResult res =
+            checkDurableState(durable, sys.storeLog(),
+                              PersistModel::StrictTso, cfg.numCores);
+        std::printf("    TSO-cut audit: %s\n",
+                    res.ok ? "CONSISTENT" : res.detail.c_str());
+        allOk = allOk && recordsOk && res.ok;
+    }
+    std::printf("\n%s\n", allOk
+                              ? "No torn records at any crash point: "
+                                "plain TSO code is crash-consistent "
+                                "under TSOPER."
+                              : "AUDIT FAILED");
+    return allOk ? 0 : 1;
+}

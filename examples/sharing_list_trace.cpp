@@ -1,0 +1,132 @@
+/**
+ * @file
+ * A guided tour of sharing-list persistency (§IV) on a single
+ * cacheline, driving the SLC protocol directly and printing the list
+ * after every step: prepend-at-head, non-destructive invalidation,
+ * multiversioning, and the tail-to-head persist-token walk.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "coherence/slc.hh"
+#include "mem/llc.hh"
+#include "mem/nvm.hh"
+#include "noc/mesh.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+using namespace tsoper;
+
+namespace
+{
+
+/** TSOPER-style hooks: keep invalid dirty versions, no downgrades. */
+struct KeepVersionsHooks : ProtocolHooks
+{
+    bool dropsInvalidDirty() const override { return false; }
+    bool writebackOnDowngrade() const override { return false; }
+    Cycle
+    onDirtyExpose(CoreId owner, LineAddr, CoreId requester, bool write,
+                  Cycle now) override
+    {
+        std::printf("      [freeze] core %d's AG frozen by core %d's "
+                    "%s\n", owner, requester, write ? "write" : "read");
+        return now;
+    }
+};
+
+constexpr Addr kAddr = 0x5000'0000;
+const LineAddr kLine = lineOf(kAddr);
+
+void
+printList(const SlcProtocol &slc, unsigned cores)
+{
+    std::printf("    list (head..tail): ");
+    // Reconstruct order by walking tails: simple O(n^2) scan.
+    std::vector<CoreId> order;
+    for (unsigned c = 0; c < cores; ++c)
+        if (slc.hasNode(static_cast<CoreId>(c), kLine))
+            order.push_back(static_cast<CoreId>(c));
+    // Sort by "distance to tail": a node that is persist-tail first.
+    // For display purposes walk from each and count successors.
+    std::printf("%u node(s):", static_cast<unsigned>(order.size()));
+    for (CoreId c : order) {
+        std::printf("  core%d[%s%s%s]", c,
+                    slc.nodeValid(c, kLine) ? "V" : "i",
+                    slc.nodeDirty(c, kLine) ? "D" : "c",
+                    slc.nodeIsTail(c, kLine) ? ",tail" : "");
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    SystemConfig cfg;
+    EventQueue eq;
+    StatsRegistry stats;
+    Mesh mesh(cfg, stats);
+    Nvm nvm(cfg, eq, stats);
+    Llc llc(cfg, nvm, stats);
+    SlcProtocol slc(cfg, eq, mesh, llc, nvm, stats);
+    KeepVersionsHooks hooks;
+    slc.setHooks(&hooks);
+
+    auto store = [&](CoreId c, std::uint64_t seq) {
+        bool done = false;
+        slc.store(c, kAddr, makeStoreId(c, seq), [&](Cycle) {
+            done = true;
+        });
+        eq.runUntil([&] { return done; });
+    };
+    auto load = [&](CoreId c) {
+        bool done = false;
+        slc.load(c, kAddr, [&](Cycle, StoreId) { done = true; });
+        eq.runUntil([&] { return done; });
+    };
+
+    std::printf("One cacheline, four cores.  V=valid i=invalid D=dirty "
+                "c=clean.\n\n");
+
+    std::printf("1. core 0 writes: sole head, exclusive version v0\n");
+    store(0, 0);
+    printList(slc, 4);
+
+    std::printf("\n2. core 1 writes: prepends at head; core 0's v0 is "
+                "invalidated NON-destructively\n   (multiversioning: "
+                "two versions co-exist; v0 holds the persist token)\n");
+    store(1, 0);
+    printList(slc, 4);
+
+    std::printf("\n3. core 2 reads: prepends as a clean sharer; the "
+                "dirty owner is frozen but stays valid\n");
+    load(2);
+    printList(slc, 4);
+
+    std::printf("\n4. persist v0 (tail): it unlinks, the token passes "
+                "headwards\n");
+    slc.persistComplete(0, kLine, eq.now());
+    printList(slc, 4);
+
+    std::printf("\n5. persist v1: still valid, so it stays as a clean "
+                "sharer (LLC updated in parallel)\n");
+    slc.persistComplete(1, kLine, eq.now());
+    printList(slc, 4);
+
+    std::printf("\n6. core 3 writes: clean copies below are droppable; "
+                "a fresh exclusive version forms\n");
+    store(3, 0);
+    printList(slc, 4);
+
+    std::printf("\nLLC now holds v1 (the last persisted version): "
+                "word0=%llx\n",
+                static_cast<unsigned long long>(
+                    llc.lookup(kLine)[wordOf(kAddr)]));
+    std::printf("\nCoherence ran ahead at the head of the list; "
+                "persistency followed at the tail.\n");
+    return 0;
+}

@@ -1,0 +1,109 @@
+#include "coherence/directory.hh"
+
+#include <utility>
+
+#include "sim/log.hh"
+
+namespace tsoper
+{
+
+void
+LineSerializer::submit(LineAddr line, Body body)
+{
+    LineState &state = lines_[line];
+    if (state.busy) {
+        state.queue.push_back(std::move(body));
+        return;
+    }
+    dispatch(line, std::move(body));
+}
+
+bool
+LineSerializer::busy(LineAddr line) const
+{
+    auto it = lines_.find(line);
+    return it != lines_.end() && it->second.busy;
+}
+
+void
+LineSerializer::dispatch(LineAddr line, Body body)
+{
+    LineState &state = lines_[line];
+    state.busy = true;
+    const Cycle releaseAt = body(eq_.now());
+    tsoper_assert(releaseAt >= eq_.now(), "transaction released in the past");
+    eq_.schedule(releaseAt, [this, line] { release(line); });
+}
+
+void
+LineSerializer::release(LineAddr line)
+{
+    auto it = lines_.find(line);
+    tsoper_assert(it != lines_.end() && it->second.busy,
+                  "release of idle line");
+    if (it->second.queue.empty()) {
+        lines_.erase(it);
+        return;
+    }
+    Body next = std::move(it->second.queue.front());
+    it->second.queue.pop_front();
+    it->second.busy = false;
+    dispatch(line, std::move(next));
+}
+
+DirectoryCapacity::DirectoryCapacity(unsigned entriesPerBank, unsigned banks,
+                                     unsigned evictBufferEntries,
+                                     StatsRegistry &stats)
+    : array_(std::max(1u, entriesPerBank / 8) * banks, 8,
+             /*setShift=*/0),
+      evictions_(stats.counter("dir.evictions")),
+      evictBufferHist_(stats.histogram("dir.evict_buffer_occupancy")),
+      evictBufferCap_(evictBufferEntries)
+{
+}
+
+std::optional<LineAddr>
+DirectoryCapacity::allocate(LineAddr line)
+{
+    const auto result = array_.insert(line);
+    if (result.noSpace)
+        tsoper_panic("directory set fully pinned");
+    if (result.evicted) {
+        evictions_.inc();
+        return result.victim;
+    }
+    return std::nullopt;
+}
+
+void
+DirectoryCapacity::release(LineAddr line)
+{
+    array_.erase(line);
+}
+
+void
+DirectoryCapacity::evictBufferEnter(LineAddr line)
+{
+    evictBuffer_[line] = true;
+    evictBufferHist_.add(evictBuffer_.size());
+    if (evictBuffer_.size() > evictBufferCap_) {
+        // The paper sizes this buffer so it never backpressures
+        // (footnote: directory evictions are rare); we surface overflow
+        // as a statistic rather than deadlocking the protocol.
+        evictBufferHist_.add(evictBuffer_.size());
+    }
+}
+
+void
+DirectoryCapacity::evictBufferLeave(LineAddr line)
+{
+    evictBuffer_.erase(line);
+}
+
+bool
+DirectoryCapacity::inEvictBuffer(LineAddr line) const
+{
+    return evictBuffer_.count(line) != 0;
+}
+
+} // namespace tsoper

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Directory-side utilities shared by the MESI and SLC protocols:
+ *
+ *  - LineSerializer: per-cacheline FIFO transaction dispatch.  Each
+ *    line admits one transaction at a time; a transaction body runs at
+ *    its dispatch cycle, commits protocol state, and returns the cycle
+ *    at which the line's directory slot frees up.  This realizes the
+ *    serialization the paper's directory performs, without modelling
+ *    transient protocol states.
+ *
+ *  - DirectoryCapacity: finite directory storage with set-associative
+ *    victim selection and an eviction buffer for entries whose lines
+ *    are still persisting (§III-B).
+ */
+
+#ifndef TSOPER_COHERENCE_DIRECTORY_HH
+#define TSOPER_COHERENCE_DIRECTORY_HH
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "mem/cache_array.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace tsoper
+{
+
+class LineSerializer
+{
+  public:
+    /** Transaction body: runs at its dispatch cycle, returns the cycle
+     *  at which the next transaction for the line may dispatch. */
+    using Body = std::function<Cycle(Cycle)>;
+
+    explicit LineSerializer(EventQueue &eq) : eq_(eq) {}
+
+    /** Queue @p body for @p line; dispatches now if the line is idle. */
+    void submit(LineAddr line, Body body);
+
+    bool busy(LineAddr line) const;
+
+  private:
+    struct LineState
+    {
+        bool busy = false;
+        std::deque<Body> queue;
+    };
+
+    void dispatch(LineAddr line, Body body);
+    void release(LineAddr line);
+
+    EventQueue &eq_;
+    std::unordered_map<LineAddr, LineState> lines_;
+};
+
+/**
+ * Finite directory entry storage.  An entry exists while its line has
+ * any presence in private caches.  Allocating into a full set evicts a
+ * victim entry, whose teardown the protocol performs via the callback
+ * given to allocate(); entries mid-teardown occupy the eviction buffer.
+ */
+class DirectoryCapacity
+{
+  public:
+    DirectoryCapacity(unsigned entriesPerBank, unsigned banks,
+                      unsigned evictBufferEntries, StatsRegistry &stats);
+
+    /**
+     * Ensure an entry for @p line exists.
+     * @return the victim line whose entry must be torn down, if any.
+     */
+    std::optional<LineAddr> allocate(LineAddr line);
+
+    /** Drop @p line's entry (its sharing list / sharer set emptied). */
+    void release(LineAddr line);
+
+    bool contains(LineAddr line) const { return array_.contains(line); }
+
+    /** Teardown bookkeeping for evicted entries. */
+    void evictBufferEnter(LineAddr line);
+    void evictBufferLeave(LineAddr line);
+    bool inEvictBuffer(LineAddr line) const;
+    std::size_t evictBufferOccupancy() const { return evictBuffer_.size(); }
+
+    std::size_t entries() const { return array_.size(); }
+
+  private:
+    CacheArray array_;
+    std::unordered_map<LineAddr, bool> evictBuffer_;
+    Counter &evictions_;
+    Histogram &evictBufferHist_;
+    unsigned evictBufferCap_;
+};
+
+} // namespace tsoper
+
+#endif // TSOPER_COHERENCE_DIRECTORY_HH

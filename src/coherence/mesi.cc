@@ -1,0 +1,426 @@
+#include "coherence/mesi.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/log.hh"
+
+namespace tsoper
+{
+
+MesiProtocol::MesiProtocol(const SystemConfig &cfg, EventQueue &eq,
+                           Mesh &mesh, Llc &llc, Nvm &nvm,
+                           StatsRegistry &stats)
+    : cfg_(cfg), eq_(eq), mesh_(mesh), llc_(llc), nvm_(nvm),
+      serializer_(eq), capacity_(cfg.dirEntriesPerBank, cfg.llcBanks,
+                                 cfg.dirEvictBufferEntries, stats),
+      banks_(cfg.llcBanks),
+      hits_(stats.counter("mesi.hits")),
+      misses_(stats.counter("mesi.misses")),
+      upgrades_(stats.counter("mesi.upgrades")),
+      coherenceWb_(stats.counter("traffic.coherence_wb"))
+{
+    nodes_.resize(cfg.numCores);
+    arrays_.reserve(cfg.numCores);
+    for (unsigned c = 0; c < cfg.numCores; ++c)
+        arrays_.emplace_back(cfg.privSets, cfg.privWays);
+}
+
+MesiProtocol::Node *
+MesiProtocol::findNode(CoreId core, LineAddr line)
+{
+    auto &map = nodes_[static_cast<unsigned>(core)];
+    auto it = map.find(line);
+    return it == map.end() ? nullptr : &it->second;
+}
+
+const MesiProtocol::Node *
+MesiProtocol::findNode(CoreId core, LineAddr line) const
+{
+    return const_cast<MesiProtocol *>(this)->findNode(core, line);
+}
+
+MesiProtocol::Node &
+MesiProtocol::node(CoreId core, LineAddr line)
+{
+    Node *n = findNode(core, line);
+    tsoper_assert(n, "missing MESI node: core=", core, " line=", line);
+    return *n;
+}
+
+void
+MesiProtocol::load(CoreId core, Addr addr, LoadDone done)
+{
+    const LineAddr line = lineOf(addr);
+    if (Node *n = findNode(core, line); n && n->st != St::I) {
+        hits_.inc();
+        arrays_[static_cast<unsigned>(core)].touch(line);
+        const StoreId value = n->words[wordOf(addr)];
+        eq_.scheduleIn(cfg_.privLatency, [done, value, this] {
+            done(eq_.now(), value);
+        });
+        return;
+    }
+    misses_.inc();
+    auto body = [this, core, addr, done](Cycle t) {
+        return loadTxn(core, addr, done, t);
+    };
+    submitTxn(core, line, std::move(body), eq_.now() + cfg_.privLatency);
+}
+
+void
+MesiProtocol::store(CoreId core, Addr addr, StoreId store, StoreDone done)
+{
+    const LineAddr line = lineOf(addr);
+    if (Node *n = findNode(core, line);
+        n && (n->st == St::M || n->st == St::E)) {
+        hits_.inc();
+        arrays_[static_cast<unsigned>(core)].touch(line);
+        n->st = St::M;
+        n->words[wordOf(addr)] = store;
+        hooks_->onStoreCommitted(core, line, eq_.now());
+        logStore(core, addr, store);
+        eq_.scheduleIn(cfg_.privLatency, [done, this] { done(eq_.now()); });
+        return;
+    }
+    auto body = [this, core, addr, store, done](Cycle t) {
+        return storeTxn(core, addr, store, done, t);
+    };
+    submitTxn(core, line, std::move(body), eq_.now() + cfg_.privLatency);
+}
+
+void
+MesiProtocol::submitTxn(CoreId core, LineAddr line,
+                        LineSerializer::Body body, Cycle departAt)
+{
+    const Cycle arrival = mesh_.route(mesh_.coreNode(core),
+                                      mesh_.bankNode(bankOf(line)),
+                                      cfg_.ctrlMsgBytes, departAt);
+    eq_.schedule(arrival, [this, line, body = std::move(body)]() mutable {
+        serializer_.submit(line, std::move(body));
+    });
+}
+
+Cycle
+MesiProtocol::loadTxn(CoreId core, Addr addr, LoadDone done, Cycle t)
+{
+    const LineAddr line = lineOf(addr);
+    if (Node *n = findNode(core, line); n && n->st != St::I) {
+        // Raced: an earlier queued transaction already fetched it.
+        done(t + dirLatency_, n->words[wordOf(addr)]);
+        return t + dirLatency_;
+    }
+    if (auto victim = capacity_.allocate(line))
+        teardownEntry(*victim, t);
+    Entry &e = entries_[line];
+    Cycle dataAt;
+    LineWords words;
+    if (e.owner != invalidCore) {
+        const CoreId o = e.owner;
+        Node &on = node(o, line);
+        const Cycle fwdAt = mesh_.route(mesh_.bankNode(bankOf(line)),
+                                        mesh_.coreNode(o),
+                                        cfg_.ctrlMsgBytes, t);
+        Cycle ready = std::max(fwdAt, on.dataReadyAt);
+        if (on.st == St::M)
+            ready = std::max(ready,
+                             hooks_->onDirtyExpose(o, line, core, false, t));
+        // The data reply leaves first (critical path)...
+        dataAt = mesh_.route(mesh_.coreNode(o), mesh_.coreNode(core),
+                             lineBytes + cfg_.ctrlMsgBytes, ready);
+        if (on.st == St::M) {
+            // ...then the MESI downgrade writeback.
+            llc_.install(line, on.words, true, t);
+            coherenceWb_.inc();
+            mesh_.route(mesh_.coreNode(o), mesh_.bankNode(bankOf(line)),
+                        lineBytes + cfg_.ctrlMsgBytes, ready);
+        }
+        words = on.words;
+        on.st = St::S;
+        e.sharers = bit(o) | bit(core);
+        e.owner = invalidCore;
+    } else if (e.sharers != 0 || llc_.contains(line)) {
+        if (llc_.contains(line)) {
+            words = llc_.lookup(line);
+            dataAt = mesh_.route(mesh_.bankNode(bankOf(line)),
+                                 mesh_.coreNode(core),
+                                 lineBytes + cfg_.ctrlMsgBytes,
+                                 llc_.access(line, t));
+        } else {
+            // LLC lost the shared copy; fetch from any sharer.
+            CoreId s = invalidCore;
+            for (CoreId c = 0; c < static_cast<CoreId>(cfg_.numCores); ++c)
+                if (e.sharers & bit(c)) { s = c; break; }
+            tsoper_assert(s != invalidCore);
+            Node &sn = node(s, line);
+            const Cycle fwdAt = mesh_.route(mesh_.bankNode(bankOf(line)),
+                                            mesh_.coreNode(s),
+                                            cfg_.ctrlMsgBytes, t);
+            dataAt = mesh_.route(mesh_.coreNode(s), mesh_.coreNode(core),
+                                 lineBytes + cfg_.ctrlMsgBytes,
+                                 std::max(fwdAt, sn.dataReadyAt));
+            words = sn.words;
+            llc_.install(line, words, false, t);
+        }
+        e.sharers |= bit(core);
+    } else {
+        std::tie(dataAt, words) = fetchFromMemory(core, line, t);
+        e.owner = core; // E state: exclusive clean.
+    }
+    Node &nn = nodes_[static_cast<unsigned>(core)][line];
+    nn.st = (e.owner == core) ? St::E : St::S;
+    nn.words = words;
+    nn.dataReadyAt = dataAt;
+    insertResident(core, line, t);
+    done(dataAt, words[wordOf(addr)]);
+    return dataAt; // Blocking directory: hold the line to completion.
+}
+
+Cycle
+MesiProtocol::storeTxn(CoreId core, Addr addr, StoreId store,
+                       StoreDone done, Cycle t)
+{
+    const LineAddr line = lineOf(addr);
+    if (hooks_->tryDeferStoreCommit(core, line,
+                                    [this, core, addr, store, done] {
+            this->store(core, addr, store, done);
+        })) {
+        return t + dirLatency_;
+    }
+    if (Node *n = findNode(core, line);
+        n && (n->st == St::M || n->st == St::E)) {
+        // Raced: already exclusive.
+        n->st = St::M;
+        n->words[wordOf(addr)] = store;
+        hooks_->onStoreCommitted(core, line, t);
+        logStore(core, addr, store);
+        done(t + dirLatency_);
+        return t + dirLatency_;
+    }
+    if (auto victim = capacity_.allocate(line))
+        teardownEntry(*victim, t);
+    Entry &e = entries_[line];
+    Node *mine = findNode(core, line);
+    Cycle dataAt;
+    LineWords words;
+    if (e.owner != invalidCore && e.owner != core) {
+        const CoreId o = e.owner;
+        Node &on = node(o, line);
+        const Cycle fwdAt = mesh_.route(mesh_.bankNode(bankOf(line)),
+                                        mesh_.coreNode(o),
+                                        cfg_.ctrlMsgBytes, t);
+        Cycle ready = std::max(fwdAt, on.dataReadyAt);
+        if (on.st == St::M)
+            ready = std::max(ready,
+                             hooks_->onDirtyExpose(o, line, core, true, t));
+        dataAt = mesh_.route(mesh_.coreNode(o), mesh_.coreNode(core),
+                             lineBytes + cfg_.ctrlMsgBytes, ready);
+        words = on.words;
+        on.st = St::I;
+        arrays_[static_cast<unsigned>(o)].erase(line);
+        nodes_[static_cast<unsigned>(o)].erase(line);
+    } else if (mine && mine->st == St::S) {
+        upgrades_.inc();
+        words = mine->words;
+        const Cycle ackAt = invalidateSharers(line, core, core, t);
+        dataAt = std::max(ackAt, mesh_.route(mesh_.bankNode(bankOf(line)),
+                                             mesh_.coreNode(core),
+                                             cfg_.ctrlMsgBytes, t));
+    } else if (e.sharers != 0 || llc_.contains(line)) {
+        misses_.inc();
+        if (llc_.contains(line)) {
+            words = llc_.lookup(line);
+        } else {
+            CoreId s = invalidCore;
+            for (CoreId c = 0; c < static_cast<CoreId>(cfg_.numCores); ++c)
+                if (e.sharers & bit(c)) { s = c; break; }
+            tsoper_assert(s != invalidCore);
+            words = node(s, line).words;
+        }
+        const Cycle llcAt = mesh_.route(mesh_.bankNode(bankOf(line)),
+                                        mesh_.coreNode(core),
+                                        lineBytes + cfg_.ctrlMsgBytes,
+                                        llc_.access(line, t));
+        const Cycle ackAt = invalidateSharers(line, core, core, t);
+        dataAt = std::max(llcAt, ackAt);
+    } else {
+        misses_.inc();
+        std::tie(dataAt, words) = fetchFromMemory(core, line, t);
+    }
+    e.sharers = 0;
+    e.owner = core;
+    Node &nn = nodes_[static_cast<unsigned>(core)][line];
+    nn.st = St::M;
+    nn.words = words;
+    nn.words[wordOf(addr)] = store;
+    nn.dataReadyAt = dataAt;
+    insertResident(core, line, t);
+    hooks_->onStoreCommitted(core, line, t);
+    logStore(core, addr, store);
+    done(dataAt);
+    return dataAt;
+}
+
+std::pair<Cycle, LineWords>
+MesiProtocol::fetchFromMemory(CoreId core, LineAddr line, Cycle t)
+{
+    LineWords words;
+    Cycle at;
+    if (llc_.contains(line)) {
+        words = llc_.lookup(line);
+        at = llc_.access(line, t);
+    } else {
+        words = nvm_.durable(line);
+        at = nvm_.read(line, llc_.access(line, t));
+        llc_.install(line, words, false, t);
+    }
+    const Cycle dataAt = mesh_.route(mesh_.bankNode(bankOf(line)),
+                                     mesh_.coreNode(core),
+                                     lineBytes + cfg_.ctrlMsgBytes, at);
+    return {dataAt, words};
+}
+
+Cycle
+MesiProtocol::invalidateSharers(LineAddr line, CoreId except,
+                                CoreId requester, Cycle t)
+{
+    Entry &e = entries_[line];
+    Cycle lastAck = t;
+    for (CoreId c = 0; c < static_cast<CoreId>(cfg_.numCores); ++c) {
+        if (!(e.sharers & bit(c)) || c == except)
+            continue;
+        const Cycle invAt = mesh_.route(mesh_.bankNode(bankOf(line)),
+                                        mesh_.coreNode(c),
+                                        cfg_.ctrlMsgBytes, t);
+        const Cycle ackAt = mesh_.route(mesh_.coreNode(c),
+                                        mesh_.coreNode(requester),
+                                        cfg_.ctrlMsgBytes, invAt);
+        lastAck = std::max(lastAck, ackAt);
+        arrays_[static_cast<unsigned>(c)].erase(line);
+        nodes_[static_cast<unsigned>(c)].erase(line);
+    }
+    e.sharers &= bit(except);
+    return lastAck;
+}
+
+void
+MesiProtocol::insertResident(CoreId core, LineAddr line, Cycle t)
+{
+    auto result = arrays_[static_cast<unsigned>(core)].insert(line);
+    tsoper_assert(!result.noSpace, "private cache set fully pinned");
+    if (result.evicted)
+        handleVictim(core, result.victim, t);
+}
+
+void
+MesiProtocol::handleVictim(CoreId core, LineAddr victim, Cycle t)
+{
+    Node &v = node(core, victim);
+    Entry &e = entries_[victim];
+    if (v.st == St::M) {
+        llc_.install(victim, v.words, true, t);
+        coherenceWb_.inc();
+        mesh_.route(mesh_.coreNode(core), mesh_.bankNode(bankOf(victim)),
+                    lineBytes + cfg_.ctrlMsgBytes, t);
+        hooks_->onDirtyEvict(core, victim, ExposeReason::Eviction, t);
+    } else {
+        // Silent clean eviction; notify the directory (traffic only).
+        mesh_.route(mesh_.coreNode(core), mesh_.bankNode(bankOf(victim)),
+                    cfg_.ctrlMsgBytes, t);
+    }
+    if (e.owner == core)
+        e.owner = invalidCore;
+    e.sharers &= ~bit(core);
+    nodes_[static_cast<unsigned>(core)].erase(victim);
+    maybeReleaseEntry(victim);
+}
+
+void
+MesiProtocol::teardownEntry(LineAddr victim, Cycle t)
+{
+    Entry &e = entries_[victim];
+    if (e.owner != invalidCore) {
+        const CoreId o = e.owner;
+        Node &on = node(o, victim);
+        if (on.st == St::M) {
+            llc_.install(victim, on.words, true, t);
+            coherenceWb_.inc();
+            mesh_.route(mesh_.coreNode(o), mesh_.bankNode(bankOf(victim)),
+                        lineBytes + cfg_.ctrlMsgBytes, t);
+            hooks_->onDirtyEvict(o, victim, ExposeReason::DirEviction, t);
+        }
+        arrays_[static_cast<unsigned>(o)].erase(victim);
+        nodes_[static_cast<unsigned>(o)].erase(victim);
+        e.owner = invalidCore;
+    }
+    for (CoreId c = 0; c < static_cast<CoreId>(cfg_.numCores); ++c) {
+        if (!(e.sharers & bit(c)))
+            continue;
+        mesh_.route(mesh_.bankNode(bankOf(victim)), mesh_.coreNode(c),
+                    cfg_.ctrlMsgBytes, t);
+        arrays_[static_cast<unsigned>(c)].erase(victim);
+        nodes_[static_cast<unsigned>(c)].erase(victim);
+    }
+    e.sharers = 0;
+    entries_.erase(victim);
+    capacity_.release(victim);
+}
+
+void
+MesiProtocol::maybeReleaseEntry(LineAddr line)
+{
+    auto it = entries_.find(line);
+    if (it == entries_.end())
+        return;
+    if (it->second.owner == invalidCore && it->second.sharers == 0) {
+        entries_.erase(it);
+        capacity_.release(line);
+    }
+}
+
+bool
+MesiProtocol::isModified(CoreId core, LineAddr line) const
+{
+    const Node *n = findNode(core, line);
+    return n && n->st == St::M;
+}
+
+const LineWords &
+MesiProtocol::lineWords(CoreId core, LineAddr line) const
+{
+    const Node *n = findNode(core, line);
+    tsoper_assert(n, "lineWords on absent node");
+    return n->words;
+}
+
+void
+MesiProtocol::flushLine(CoreId core, LineAddr line, Cycle earliest,
+                        std::function<void(Cycle, bool)> done)
+{
+    // LLC exclusion: the write into the LLC must wait for the pending
+    // NVM persist of the line's previous version (Definition 2).
+    const Cycle start = std::max({earliest, eq_.now(),
+                                  llc_.persistPendingUntil(line)});
+    eq_.schedule(start, [this, core, line, done] {
+        Node *n = findNode(core, line);
+        if (!n || n->st != St::M) {
+            done(eq_.now(), false);
+            return;
+        }
+        const Cycle at =
+            mesh_.route(mesh_.coreNode(core), mesh_.bankNode(bankOf(line)),
+                        lineBytes + cfg_.ctrlMsgBytes, eq_.now());
+        llc_.install(line, n->words, true, eq_.now());
+        coherenceWb_.inc();
+        n->st = St::E;
+        done(at, true);
+    });
+}
+
+ProtocolComplexity
+MesiProtocol::complexity() const
+{
+    return ProtocolComplexity{"MESI", 4, 4, 12};
+}
+
+} // namespace tsoper

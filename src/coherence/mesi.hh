@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Conventional directory-based MESI protocol.
+ *
+ * Serves three roles in the reproduction:
+ *  1. the conventional baseline the paper quotes SLC's ~3% overhead
+ *     against (§V "Systems", bench/stat_slc_vs_mesi);
+ *  2. the substrate BSP persists through (Joshi et al. persist via the
+ *     LLC, which imposes single-version semantics);
+ *  3. the contrast for the protocol-complexity table.
+ *
+ * Unlike SLC, the directory here is *blocking*: a transaction occupies
+ * its line until the requester has data and acknowledgements, which —
+ * combined with BSP's flush-before-handover (ProtocolHooks::
+ * onDirtyExpose) — produces the L1 exclusion time of Fig. 1a.
+ */
+
+#ifndef TSOPER_COHERENCE_MESI_HH
+#define TSOPER_COHERENCE_MESI_HH
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "coherence/directory.hh"
+#include "coherence/protocol.hh"
+#include "mem/cache_array.hh"
+#include "mem/llc.hh"
+#include "mem/nvm.hh"
+#include "noc/mesh.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace tsoper
+{
+
+class MesiProtocol : public CoherenceProtocol
+{
+  public:
+    MesiProtocol(const SystemConfig &cfg, EventQueue &eq, Mesh &mesh,
+                 Llc &llc, Nvm &nvm, StatsRegistry &stats);
+
+    void load(CoreId core, Addr addr, LoadDone done) override;
+    void store(CoreId core, Addr addr, StoreId store,
+               StoreDone done) override;
+    ProtocolComplexity complexity() const override;
+
+    // --- BSP engine API -----------------------------------------------
+
+    /** Is (core, line) in state M? */
+    bool isModified(CoreId core, LineAddr line) const;
+
+    /** Version contents of (core, line); the node must exist. */
+    const LineWords &lineWords(CoreId core, LineAddr line) const;
+
+    /**
+     * Epoch flush: write (core, line)'s version through to the LLC,
+     * starting no earlier than @p earliest and honouring LLC exclusion
+     * (Definition 2: the LLC accepts a newer version only after the
+     * older version's NVM persist completed).  The line downgrades to
+     * E.  @p done receives the completion cycle and whether a write
+     * actually happened (false if the line was no longer modified —
+     * e.g. a remote request already forced it to the LLC).
+     */
+    void flushLine(CoreId core, LineAddr line, Cycle earliest,
+                   std::function<void(Cycle, bool)> done);
+
+  private:
+    enum class St { I, S, E, M };
+
+    struct Node
+    {
+        St st = St::I;
+        Cycle dataReadyAt = 0;
+        LineWords words{};
+    };
+
+    struct Entry
+    {
+        CoreId owner = invalidCore;
+        std::uint64_t sharers = 0;
+    };
+
+    static std::uint64_t bit(CoreId c) { return 1ull << c; }
+
+    unsigned bankOf(LineAddr line) const
+    {
+        return static_cast<unsigned>(line) & (banks_ - 1);
+    }
+
+    Node *findNode(CoreId core, LineAddr line);
+    const Node *findNode(CoreId core, LineAddr line) const;
+    Node &node(CoreId core, LineAddr line);
+
+    void submitTxn(CoreId core, LineAddr line, LineSerializer::Body body,
+                   Cycle departAt);
+
+    Cycle loadTxn(CoreId core, Addr addr, LoadDone done, Cycle t);
+    Cycle storeTxn(CoreId core, Addr addr, StoreId store, StoreDone done,
+                   Cycle t);
+
+    /** Fetch words + arrival when the LLC/NVM must supply data. */
+    std::pair<Cycle, LineWords> fetchFromMemory(CoreId core, LineAddr line,
+                                                Cycle t);
+
+    /** Invalidate all sharers except @p except; @return last ack cycle. */
+    Cycle invalidateSharers(LineAddr line, CoreId except, CoreId requester,
+                            Cycle t);
+
+    void insertResident(CoreId core, LineAddr line, Cycle t);
+    void handleVictim(CoreId core, LineAddr victim, Cycle t);
+    void teardownEntry(LineAddr victim, Cycle t);
+    void maybeReleaseEntry(LineAddr line);
+
+    const SystemConfig &cfg_;
+    EventQueue &eq_;
+    Mesh &mesh_;
+    Llc &llc_;
+    Nvm &nvm_;
+    LineSerializer serializer_;
+    DirectoryCapacity capacity_;
+    unsigned banks_;
+    Cycle dirLatency_ = 6;
+
+    std::vector<std::unordered_map<LineAddr, Node>> nodes_;
+    std::vector<CacheArray> arrays_;
+    std::unordered_map<LineAddr, Entry> entries_;
+
+    Counter &hits_;
+    Counter &misses_;
+    Counter &upgrades_;
+    Counter &coherenceWb_;
+};
+
+} // namespace tsoper
+
+#endif // TSOPER_COHERENCE_MESI_HH

@@ -1,0 +1,8 @@
+#include "coherence/protocol.hh"
+
+namespace tsoper
+{
+
+ProtocolHooks CoherenceProtocol::defaultHooks_;
+
+} // namespace tsoper

@@ -1,0 +1,766 @@
+#include "coherence/slc.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/debug.hh"
+#include "sim/log.hh"
+
+namespace tsoper
+{
+
+SlcProtocol::SlcProtocol(const SystemConfig &cfg, EventQueue &eq, Mesh &mesh,
+                         Llc &llc, Nvm &nvm, StatsRegistry &stats)
+    : cfg_(cfg), eq_(eq), mesh_(mesh), llc_(llc), nvm_(nvm), stats_(stats),
+      serializer_(eq), capacity_(cfg.dirEntriesPerBank, cfg.llcBanks,
+                                 cfg.dirEvictBufferEntries, stats),
+      banks_(cfg.llcBanks), evictBufOcc_(cfg.numCores, 0),
+      hits_(stats.counter("slc.hits")),
+      misses_(stats.counter("slc.misses")),
+      upgrades_(stats.counter("slc.upgrades")),
+      coherenceWb_(stats.counter("traffic.coherence_wb")),
+      persistListLen_(stats.histogram("slc.persist_list_len")),
+      coherenceListLen_(stats.histogram("slc.coherence_list_len")),
+      evictBufHist_(stats.histogram("slc.evict_buffer_occupancy"))
+{
+    nodes_.resize(cfg.numCores);
+    arrays_.reserve(cfg.numCores);
+    for (unsigned c = 0; c < cfg.numCores; ++c)
+        arrays_.emplace_back(cfg.privSets, cfg.privWays);
+}
+
+SlcProtocol::Node *
+SlcProtocol::findNode(CoreId core, LineAddr line)
+{
+    auto &map = nodes_[static_cast<unsigned>(core)];
+    auto it = map.find(line);
+    return it == map.end() ? nullptr : &it->second;
+}
+
+const SlcProtocol::Node *
+SlcProtocol::findNode(CoreId core, LineAddr line) const
+{
+    return const_cast<SlcProtocol *>(this)->findNode(core, line);
+}
+
+SlcProtocol::Node &
+SlcProtocol::node(CoreId core, LineAddr line)
+{
+    Node *n = findNode(core, line);
+    tsoper_assert(n, "missing SLC node: core=", core, " line=", line);
+    return *n;
+}
+
+// --------------------------------------------------------------------
+// Public access paths
+// --------------------------------------------------------------------
+
+void
+SlcProtocol::load(CoreId core, Addr addr, LoadDone done)
+{
+    const LineAddr line = lineOf(addr);
+    if (Node *n = findNode(core, line); n && n->valid) {
+        hits_.inc();
+        if (!n->evicted)
+            arrays_[static_cast<unsigned>(core)].touch(line);
+        const StoreId value = n->words[wordOf(addr)];
+        eq_.scheduleIn(cfg_.privLatency, [done, value, this] {
+            done(eq_.now(), value);
+        });
+        return;
+    }
+    misses_.inc();
+    auto body = [this, core, addr, done](Cycle t) {
+        return loadTxn(core, addr, done, t);
+    };
+    submitTxn(core, line, std::move(body), eq_.now() + cfg_.privLatency);
+}
+
+void
+SlcProtocol::store(CoreId core, Addr addr, StoreId store, StoreDone done)
+{
+    const LineAddr line = lineOf(addr);
+    if (Node *n = findNode(core, line);
+        n && n->valid && !n->evicted && n->bwd == invalidCore &&
+        (n->dirty || n->fwd == invalidCore)) {
+        // Silent write: we are the head and either already the
+        // exclusive writer or the sole copy (E-like upgrade).
+        hits_.inc();
+        arrays_[static_cast<unsigned>(core)].touch(line);
+        n->words[wordOf(addr)] = store;
+        n->dirty = true;
+        hooks_->onStoreCommitted(core, line, eq_.now());
+        logStore(core, addr, store);
+        eq_.scheduleIn(cfg_.privLatency, [done, this] { done(eq_.now()); });
+        return;
+    }
+    auto body = [this, core, addr, store, done](Cycle t) {
+        return storeTxn(core, addr, store, done, t);
+    };
+    submitTxn(core, line, std::move(body), eq_.now() + cfg_.privLatency);
+}
+
+void
+SlcProtocol::submitTxn(CoreId core, LineAddr line, LineSerializer::Body body,
+                       Cycle departAt)
+{
+    const Cycle arrival = mesh_.route(mesh_.coreNode(core),
+                                      mesh_.bankNode(bankOf(line)),
+                                      cfg_.ctrlMsgBytes, departAt);
+    eq_.schedule(arrival, [this, line, body = std::move(body)]() mutable {
+        serializer_.submit(line, std::move(body));
+    });
+}
+
+bool
+SlcProtocol::mustWaitForOwnNode(CoreId core, LineAddr line,
+                                std::function<void()> retry, Cycle t,
+                                bool *relinked)
+{
+    Node *n = findNode(core, line);
+    if (!n || n->valid)
+        return false;
+    if (n->dirty || hooks_->lineInFrozenAg(core, line)) {
+        // The local invalid version is pending persist (dirty), or the
+        // line belongs to a frozen AG whose dependence set must not
+        // grow: the access stalls until the version/group clears
+        // (§II-A multiversioning).
+        nodeWaiters_[waiterKey(core, line)].push_back(std::move(retry));
+        return true;
+    }
+    // Stale clean copy: splice it and proceed as a plain miss.  If it
+    // was a clean member of the still-open AG, the re-linked node will
+    // carry the (conservatively larger) dependence; the caller fires
+    // onNodeRelinked so the engine recomputes it.
+    if (relinked)
+        *relinked = hooks_->lineInUnpersistedAg(core, line);
+    unlinkNode(core, line, t);
+    return false;
+}
+
+// --------------------------------------------------------------------
+// Transaction bodies
+// --------------------------------------------------------------------
+
+Cycle
+SlcProtocol::loadTxn(CoreId core, Addr addr, LoadDone done, Cycle t)
+{
+    const LineAddr line = lineOf(addr);
+    if (entries_[line].zombie) {
+        zombieWaiters_[line].push_back([this, core, addr, done] {
+            load(core, addr, done);
+        });
+        return t + dirLatency_;
+    }
+    if (Node *n = findNode(core, line); n && n->valid) {
+        // Raced with our own eviction-buffer revival or a queued
+        // upgrade: serve as a hit.
+        const StoreId value = n->words[wordOf(addr)];
+        done(t + dirLatency_, value);
+        return t + dirLatency_;
+    }
+    auto retry = [this, core, addr, done] { load(core, addr, done); };
+    bool relinked = false;
+    if (mustWaitForOwnNode(core, line, retry, t, &relinked))
+        return t + dirLatency_;
+
+    if (auto victim = capacity_.allocate(line))
+        teardownEntry(*victim, t);
+
+    // Re-fetch: the waiter/teardown paths above may have erased and
+    // re-created the entry.
+    const CoreId h = entries_[line].head;
+    Cycle dataAt;
+    LineWords words;
+    bool sourceDirty = false;
+    if (h == invalidCore || !node(h, line).valid) {
+        // No valid cached copy: the LLC (or NVM) holds the current
+        // version (invalid heads imply their successors' versions
+        // already reached the LLC).
+        std::tie(dataAt, words) = fetchFromMemory(core, line, t);
+    } else {
+        Node &hn = node(h, line);
+        sourceDirty = hn.dirty;
+        const Cycle fwdAt = mesh_.route(mesh_.bankNode(bankOf(line)),
+                                        mesh_.coreNode(h),
+                                        cfg_.ctrlMsgBytes, t);
+        Cycle ready = std::max(fwdAt, hn.dataReadyAt);
+        if (hn.dirty)
+            ready = std::max(ready,
+                             hooks_->onDirtyExpose(h, line, core, false, t));
+        // The data reply leaves first (critical path)...
+        dataAt = mesh_.route(mesh_.coreNode(h), mesh_.coreNode(core),
+                             lineBytes + cfg_.ctrlMsgBytes, ready);
+        if (hn.dirty && hooks_->writebackOnDowngrade()) {
+            // ...then the conventional downgrade writeback: the owner
+            // writes the dirty data back and becomes a clean sharer.
+            llc_.install(line, hn.words, true, t);
+            coherenceWb_.inc();
+            mesh_.route(mesh_.coreNode(h), mesh_.bankNode(bankOf(line)),
+                        lineBytes + cfg_.ctrlMsgBytes, ready);
+            hn.dirty = false;
+            sourceDirty = false;
+        }
+        words = hn.words;
+    }
+    Node &nn = prependNode(core, line);
+    nn.dataReadyAt = dataAt;
+    nn.words = words;
+    insertResident(core, line, t);
+    if (sourceDirty)
+        hooks_->onReadDependence(core, line, t);
+    if (relinked)
+        hooks_->onNodeRelinked(core, line, t);
+    done(dataAt, words[wordOf(addr)]);
+    sampleListStats(line);
+    return t + dirLatency_;
+}
+
+Cycle
+SlcProtocol::storeTxn(CoreId core, Addr addr, StoreId store, StoreDone done,
+                      Cycle t)
+{
+    const LineAddr line = lineOf(addr);
+    if (entries_[line].zombie) {
+        zombieWaiters_[line].push_back([this, core, addr, store, done] {
+            this->store(core, addr, store, done);
+        });
+        return t + dirLatency_;
+    }
+    auto retry = [this, core, addr, store, done] {
+        this->store(core, addr, store, done);
+    };
+    if (hooks_->tryDeferStoreCommit(core, line, retry))
+        return t + dirLatency_;
+    if (mustWaitForOwnNode(core, line, retry, t))
+        return t + dirLatency_;
+    // (A spliced stale clean member needs no onNodeRelinked here: the
+    // store-commit hook below recomputes the dependence state.)
+
+    if (auto victim = capacity_.allocate(line))
+        teardownEntry(*victim, t);
+
+    Node *n = findNode(core, line);
+    Cycle permissionAt;
+    CoreId exposedInDataPath = invalidCore;
+    if (n && n->valid) {
+        upgrades_.inc();
+        if (n->evicted) {
+            // Revive from the eviction buffer.
+            n->evicted = false;
+            leaveEvictBuffer(core);
+            insertResident(core, line, t);
+        }
+        if (n->bwd != invalidCore) {
+            // Re-link as the new head above the current readers.  Our
+            // copy is current (a newer writer would have invalidated
+            // us), so only pointers move.
+            Node moved = *n;
+            const bool wasTail = (n->fwd == invalidCore);
+            // Splice out of the old position.
+            if (moved.bwd != invalidCore)
+                node(moved.bwd, line).fwd = moved.fwd;
+            if (moved.fwd != invalidCore)
+                node(moved.fwd, line).bwd = moved.bwd;
+            if (wasTail && moved.bwd != invalidCore)
+                hooks_->onBecameTail(moved.bwd, line, t);
+            // Prepend at the head.
+            Entry &e = entries_[line];
+            const CoreId h = e.head;
+            n->fwd = h;
+            n->bwd = invalidCore;
+            if (h != invalidCore)
+                node(h, line).bwd = core;
+            e.head = core;
+        }
+        permissionAt = mesh_.route(mesh_.bankNode(bankOf(line)),
+                                   mesh_.coreNode(core), cfg_.ctrlMsgBytes,
+                                   t);
+        n->dataReadyAt = std::max(n->dataReadyAt, permissionAt);
+    } else {
+        misses_.inc();
+        const CoreId h = entries_[line].head;
+        Cycle dataAt;
+        LineWords words;
+        if (h == invalidCore || !node(h, line).valid) {
+            std::tie(dataAt, words) = fetchFromMemory(core, line, t);
+        } else {
+            Node &hn = node(h, line);
+            const Cycle fwdAt = mesh_.route(mesh_.bankNode(bankOf(line)),
+                                            mesh_.coreNode(h),
+                                            cfg_.ctrlMsgBytes, t);
+            Cycle ready = std::max(fwdAt, hn.dataReadyAt);
+            if (hn.dirty) {
+                ready = std::max(ready, hooks_->onDirtyExpose(h, line, core,
+                                                              true, t));
+                exposedInDataPath = h;
+            }
+            dataAt = mesh_.route(mesh_.coreNode(h), mesh_.coreNode(core),
+                                 lineBytes + cfg_.ctrlMsgBytes, ready);
+            words = hn.words;
+        }
+        Node &nn = prependNode(core, line);
+        nn.dataReadyAt = dataAt;
+        nn.words = words;
+        insertResident(core, line, t);
+        n = &node(core, line);
+        permissionAt = dataAt;
+    }
+    invalidateBelow(core, line, t, exposedInDataPath);
+    n = &node(core, line);
+    TSOPER_TRACE(Slc, t, "core " << core << " is the new head writer of "
+                 "line 0x" << std::hex << line << std::dec
+                 << " (permission at " << permissionAt << ")");
+    n->words[wordOf(addr)] = store;
+    n->dirty = true;
+    hooks_->onStoreCommitted(core, line, t);
+    logStore(core, addr, store);
+    done(permissionAt);
+    sampleListStats(line);
+    return t + dirLatency_;
+}
+
+std::pair<Cycle, LineWords>
+SlcProtocol::fetchFromMemory(CoreId core, LineAddr line, Cycle t)
+{
+    LineWords words;
+    Cycle at;
+    if (llc_.contains(line)) {
+        words = llc_.lookup(line);
+        at = llc_.access(line, t);
+    } else {
+        words = nvm_.durable(line);
+        at = nvm_.read(line, llc_.access(line, t));
+        llc_.install(line, words, false, t);
+    }
+    const Cycle dataAt = mesh_.route(mesh_.bankNode(bankOf(line)),
+                                     mesh_.coreNode(core),
+                                     lineBytes + cfg_.ctrlMsgBytes, at);
+    return {dataAt, words};
+}
+
+// --------------------------------------------------------------------
+// List manipulation
+// --------------------------------------------------------------------
+
+SlcProtocol::Node &
+SlcProtocol::prependNode(CoreId core, LineAddr line)
+{
+    Entry &e = entries_[line];
+    tsoper_assert(!findNode(core, line),
+                  "prepend with existing node: core=", core);
+    Node nn;
+    nn.fwd = e.head;
+    nn.bwd = invalidCore;
+    if (e.head != invalidCore)
+        node(e.head, line).bwd = core;
+    e.head = core;
+    auto [it, ok] =
+        nodes_[static_cast<unsigned>(core)].emplace(line, nn);
+    tsoper_assert(ok);
+    return it->second;
+}
+
+void
+SlcProtocol::invalidateBelow(CoreId newHead, LineAddr line, Cycle t,
+                             CoreId alreadyExposed)
+{
+    CoreId cur = node(newHead, line).fwd;
+    while (cur != invalidCore) {
+        Node *vp = findNode(cur, line);
+        if (!vp)
+            break;
+        Node &v = *vp;
+        const CoreId next = v.fwd;
+        if (v.valid) {
+            v.valid = false;
+            TSOPER_TRACE(Slc, t, "core " << cur << "'s copy of line 0x"
+                         << std::hex << line << std::dec
+                         << " invalidated non-destructively (dirty="
+                         << v.dirty << ")");
+            // Background invalidation message (traffic accounting only;
+            // write permission was already granted at link-up, OBS 3).
+            mesh_.route(mesh_.bankNode(bankOf(line)), mesh_.coreNode(cur),
+                        cfg_.ctrlMsgBytes, t);
+            if (v.dirty) {
+                if (cur != alreadyExposed)
+                    hooks_->onDirtyExpose(cur, line, newHead, true, t);
+                if (hooks_->dropsInvalidDirty())
+                    unlinkNode(cur, line, t);
+            } else if (!hooks_->lineInUnpersistedAg(cur, line)) {
+                unlinkNode(cur, line, t);
+            }
+        }
+        cur = next;
+    }
+}
+
+void
+SlcProtocol::unlinkNode(CoreId core, LineAddr line, Cycle t)
+{
+    Node &n = node(core, line);
+    Entry &e = entries_[line];
+    const CoreId fwd = n.fwd;
+    const CoreId bwd = n.bwd;
+    if (bwd != invalidCore)
+        node(bwd, line).fwd = fwd;
+    if (fwd != invalidCore)
+        node(fwd, line).bwd = bwd;
+    if (e.head == core)
+        e.head = fwd;
+    const bool wasTail = (fwd == invalidCore);
+    if (!n.evicted)
+        arrays_[static_cast<unsigned>(core)].erase(line);
+    else
+        leaveEvictBuffer(core);
+    nodes_[static_cast<unsigned>(core)].erase(line);
+    if (wasTail && bwd != invalidCore) {
+        hooks_->onBecameTail(bwd, line, t);
+        // Cascade: a droppable invalid clean node that just became the
+        // tail unlinks immediately (it has nothing to persist and
+        // encodes no pb dependence).
+        Node *b = findNode(bwd, line);
+        if (b && !b->valid && !b->dirty &&
+            !hooks_->lineInUnpersistedAg(bwd, line)) {
+            unlinkNode(bwd, line, t);
+        }
+    }
+    notifyNodeWaiters(core, line);
+    maybeReleaseEntry(line, t);
+    sampleListStats(line);
+}
+
+void
+SlcProtocol::insertResident(CoreId core, LineAddr line, Cycle t)
+{
+    auto result = arrays_[static_cast<unsigned>(core)].insert(line);
+    tsoper_assert(!result.noSpace, "private cache set fully pinned");
+    if (result.evicted)
+        handleVictim(core, result.victim, t);
+}
+
+void
+SlcProtocol::handleVictim(CoreId core, LineAddr victim, Cycle t)
+{
+    Node &v = node(core, victim);
+    tsoper_assert(!v.evicted, "victim already in eviction buffer");
+    if (v.dirty) {
+        if (hooks_->dropsInvalidDirty()) {
+            // Baseline: write the version back if it is current.
+            if (v.valid) {
+                llc_.install(victim, v.words, true, t);
+                coherenceWb_.inc();
+                mesh_.route(mesh_.coreNode(core),
+                            mesh_.bankNode(bankOf(victim)),
+                            lineBytes + cfg_.ctrlMsgBytes, t);
+                hooks_->onDirtyEvict(core, victim,
+                                     ExposeReason::Eviction, t);
+            }
+            unlinkNode(core, victim, t);
+        } else {
+            // §III-B: freeze and persist immediately; the line moves to
+            // the eviction buffer and still behaves as an AG member.
+            v.evicted = true;
+            enterEvictBuffer(core);
+            hooks_->onDirtyEvict(core, victim, ExposeReason::Eviction, t);
+        }
+    } else if (hooks_->lineInUnpersistedAg(core, victim)) {
+        // Clean AG member: keep linked for the pb dependence it encodes.
+        v.evicted = true;
+        enterEvictBuffer(core);
+    } else {
+        unlinkNode(core, victim, t);
+    }
+}
+
+void
+SlcProtocol::teardownEntry(LineAddr victim, Cycle t)
+{
+    auto eit = entries_.find(victim);
+    tsoper_assert(eit != entries_.end(), "teardown of absent entry");
+    Entry &e = eit->second;
+    tsoper_assert(!e.zombie, "double teardown");
+    e.zombie = true;
+    TSOPER_TRACE(Slc, t, "directory eviction of line 0x" << std::hex
+                 << victim << std::dec << ": teardown begins");
+    capacity_.evictBufferEnter(victim);
+    // Invalidate every valid node; dirty versions freeze their AGs and
+    // persist from the side buffer (§III-B).
+    CoreId cur = e.head;
+    std::vector<CoreId> order;
+    while (cur != invalidCore) {
+        order.push_back(cur);
+        cur = node(cur, victim).fwd;
+    }
+    for (CoreId c : order) {
+        Node *vp = findNode(c, victim);
+        if (!vp || !vp->valid)
+            continue;
+        Node &v = *vp;
+        v.valid = false;
+        mesh_.route(mesh_.bankNode(bankOf(victim)), mesh_.coreNode(c),
+                    cfg_.ctrlMsgBytes, t);
+        if (v.dirty) {
+            if (hooks_->dropsInvalidDirty()) {
+                llc_.install(victim, v.words, true, t);
+                coherenceWb_.inc();
+                hooks_->onDirtyEvict(c, victim,
+                                     ExposeReason::DirEviction, t);
+                unlinkNode(c, victim, t);
+            } else {
+                hooks_->onDirtyEvict(c, victim, ExposeReason::DirEviction,
+                                     t);
+            }
+        } else if (!hooks_->lineInUnpersistedAg(c, victim)) {
+            unlinkNode(c, victim, t);
+        }
+    }
+    maybeReleaseEntry(victim, t);
+}
+
+void
+SlcProtocol::maybeReleaseEntry(LineAddr line, Cycle t)
+{
+    (void)t;
+    auto eit = entries_.find(line);
+    if (eit == entries_.end() || eit->second.head != invalidCore)
+        return;
+    const bool wasZombie = eit->second.zombie;
+    capacity_.release(line);
+    if (wasZombie)
+        capacity_.evictBufferLeave(line);
+    entries_.erase(eit);
+    auto wit = zombieWaiters_.find(line);
+    if (wit != zombieWaiters_.end()) {
+        auto waiters = std::move(wit->second);
+        zombieWaiters_.erase(wit);
+        for (auto &w : waiters)
+            eq_.scheduleIn(0, std::move(w));
+    }
+}
+
+void
+SlcProtocol::notifyNodeWaiters(CoreId core, LineAddr line)
+{
+    auto it = nodeWaiters_.find(waiterKey(core, line));
+    if (it == nodeWaiters_.end())
+        return;
+    auto waiters = std::move(it->second);
+    nodeWaiters_.erase(it);
+    for (auto &w : waiters)
+        eq_.scheduleIn(0, std::move(w));
+}
+
+// --------------------------------------------------------------------
+// Engine-facing API
+// --------------------------------------------------------------------
+
+bool
+SlcProtocol::hasNode(CoreId core, LineAddr line) const
+{
+    return findNode(core, line) != nullptr;
+}
+
+bool
+SlcProtocol::nodeValid(CoreId core, LineAddr line) const
+{
+    const Node *n = findNode(core, line);
+    return n && n->valid;
+}
+
+bool
+SlcProtocol::nodeDirty(CoreId core, LineAddr line) const
+{
+    const Node *n = findNode(core, line);
+    return n && n->dirty;
+}
+
+CoreId
+SlcProtocol::nodeFwd(CoreId core, LineAddr line) const
+{
+    const Node *n = findNode(core, line);
+    tsoper_assert(n, "nodeFwd on absent node");
+    return n->fwd;
+}
+
+CoreId
+SlcProtocol::nodeBwd(CoreId core, LineAddr line) const
+{
+    const Node *n = findNode(core, line);
+    tsoper_assert(n, "nodeBwd on absent node");
+    return n->bwd;
+}
+
+bool
+SlcProtocol::nodeIsTail(CoreId core, LineAddr line) const
+{
+    const Node *n = findNode(core, line);
+    tsoper_assert(n, "nodeIsTail on absent node");
+    return n->fwd == invalidCore;
+}
+
+bool
+SlcProtocol::nodeIsPersistTail(CoreId core, LineAddr line) const
+{
+    const Node *n = findNode(core, line);
+    tsoper_assert(n, "nodeIsPersistTail on absent node");
+    CoreId cur = n->fwd;
+    while (cur != invalidCore) {
+        const Node *below = findNode(cur, line);
+        tsoper_assert(below, "broken sharing list at core ", cur);
+        if (below->dirty)
+            return false;
+        cur = below->fwd;
+    }
+    return true;
+}
+
+void
+SlcProtocol::notifyPersistTailUpward(CoreId fromCore, LineAddr line,
+                                     Cycle t)
+{
+    CoreId cur = fromCore;
+    while (cur != invalidCore) {
+        Node *n = findNode(cur, line);
+        if (!n)
+            break;
+        const CoreId next = n->bwd;
+        const bool dirty = n->dirty;
+        hooks_->onBecameTail(cur, line, t);
+        if (dirty)
+            break; // The token stops at the next unpersisted version.
+        cur = next;
+    }
+}
+
+const LineWords &
+SlcProtocol::nodeWords(CoreId core, LineAddr line) const
+{
+    const Node *n = findNode(core, line);
+    tsoper_assert(n, "nodeWords on absent node");
+    return n->words;
+}
+
+void
+SlcProtocol::persistComplete(CoreId core, LineAddr line, Cycle now)
+{
+    Node &n = node(core, line);
+    tsoper_assert(nodeIsPersistTail(core, line),
+                  "persist of a version with unpersisted predecessors "
+                  "(core=", core, ")");
+    tsoper_assert(n.dirty, "persistComplete of a clean version");
+    // Parallel writeback: the LLC is updated with the persisted version
+    // (§II-B — the LLC is constantly updated while the AGB enqueues).
+    llc_.install(line, n.words, true, now);
+    coherenceWb_.inc();
+    mesh_.route(mesh_.coreNode(core), mesh_.bankNode(bankOf(line)),
+                lineBytes + cfg_.ctrlMsgBytes, now);
+    TSOPER_TRACE(Slc, now, "core " << core << "'s version of line 0x"
+                 << std::hex << line << std::dec
+                 << " persisted (valid=" << n.valid << ")");
+    const CoreId above = n.bwd;
+    if (!n.valid || n.evicted) {
+        unlinkNode(core, line, now);
+    } else {
+        n.dirty = false;
+        sampleListStats(line);
+    }
+    // Pass the persist token headwards past clean sharers.
+    notifyPersistTailUpward(above, line, now);
+}
+
+void
+SlcProtocol::releaseCleanMember(CoreId core, LineAddr line, Cycle now)
+{
+    Node *n = findNode(core, line);
+    if (!n)
+        return;
+    tsoper_assert(!n->dirty, "clean member is dirty");
+    if (!n->valid || n->evicted) {
+        if (n->fwd == invalidCore) {
+            unlinkNode(core, line, now);
+        } else {
+            // A non-tail invalid clean node unlinks when it becomes
+            // tail (the unlink cascade); with its membership gone, any
+            // access that stalled on the frozen group may now proceed
+            // by splicing it.
+            notifyNodeWaiters(core, line);
+        }
+    }
+}
+
+unsigned
+SlcProtocol::listLength(LineAddr line) const
+{
+    auto it = entries_.find(line);
+    if (it == entries_.end())
+        return 0;
+    unsigned len = 0;
+    CoreId cur = it->second.head;
+    while (cur != invalidCore) {
+        ++len;
+        cur = findNode(cur, line)->fwd;
+    }
+    return len;
+}
+
+unsigned
+SlcProtocol::validListLength(LineAddr line) const
+{
+    auto it = entries_.find(line);
+    if (it == entries_.end())
+        return 0;
+    unsigned len = 0;
+    CoreId cur = it->second.head;
+    while (cur != invalidCore) {
+        const Node *n = findNode(cur, line);
+        if (n->valid)
+            ++len;
+        cur = n->fwd;
+    }
+    return len;
+}
+
+void
+SlcProtocol::forEachNode(
+    const std::function<void(CoreId, LineAddr, bool, bool)> &fn) const
+{
+    for (unsigned c = 0; c < nodes_.size(); ++c) {
+        for (const auto &[line, n] : nodes_[c])
+            fn(static_cast<CoreId>(c), line, n.dirty, n.valid);
+    }
+}
+
+void
+SlcProtocol::sampleListStats(LineAddr line)
+{
+    persistListLen_.add(listLength(line));
+    coherenceListLen_.add(validListLength(line));
+}
+
+void
+SlcProtocol::enterEvictBuffer(CoreId core)
+{
+    ++evictBufOcc_[static_cast<unsigned>(core)];
+    evictBufHist_.add(evictBufOcc_[static_cast<unsigned>(core)]);
+}
+
+void
+SlcProtocol::leaveEvictBuffer(CoreId core)
+{
+    tsoper_assert(evictBufOcc_[static_cast<unsigned>(core)] > 0);
+    --evictBufOcc_[static_cast<unsigned>(core)];
+}
+
+ProtocolComplexity
+SlcProtocol::complexity() const
+{
+    // Stable node states: {valid, dirty, evicted} combinations that can
+    // occur (V, VD, VDe, VCe, I-pending-D, I-pending-De, I-clean-member,
+    // plus absent) — the paper reports 15 base states for its SLICC SLC
+    // vs 25 for MOESI; our transaction-atomic model needs no transient
+    // states at all.
+    return ProtocolComplexity{"SLC", 8, 4, 14};
+}
+
+} // namespace tsoper

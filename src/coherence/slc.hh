@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Sharing-List Coherence (SLC), the SCI-inspired protocol of §IV.
+ *
+ * Every cacheline with any private-cache presence has a doubly-linked
+ * sharing list of per-cache nodes, ordered by directory serialization:
+ * the *head* is the most recent requester (the only place the current
+ * version can be written), the *tail* is the oldest unpersisted
+ * version and owns the persist token.  The three principles of §IV-A
+ * are implemented directly:
+ *
+ *  1. Non-destructive invalidations — invalidated dirty versions stay
+ *     on the list (invalid) until they persist.
+ *  2. Multiversioning — a list may hold several same-address versions
+ *     across different caches; only the head-most version is valid.
+ *  3. Tail-to-head persist — versions persist only at the tail;
+ *     persisted (or clean) tails unlink, passing the token headwards.
+ *
+ * Write permission is granted at link-up (OBS 3: reduced L1 exclusion
+ * time); invalidations propagate in the background.
+ *
+ * Timing model: transaction-atomic (see coherence/protocol.hh).  State
+ * commits at directory dispatch; message legs and queued resources
+ * produce the completion cycles.
+ */
+
+#ifndef TSOPER_COHERENCE_SLC_HH
+#define TSOPER_COHERENCE_SLC_HH
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "coherence/directory.hh"
+#include "coherence/protocol.hh"
+#include "mem/cache_array.hh"
+#include "mem/llc.hh"
+#include "mem/nvm.hh"
+#include "noc/mesh.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace tsoper
+{
+
+class SlcProtocol : public CoherenceProtocol
+{
+  public:
+    SlcProtocol(const SystemConfig &cfg, EventQueue &eq, Mesh &mesh,
+                Llc &llc, Nvm &nvm, StatsRegistry &stats);
+
+    void load(CoreId core, Addr addr, LoadDone done) override;
+    void store(CoreId core, Addr addr, StoreId store,
+               StoreDone done) override;
+    ProtocolComplexity complexity() const override;
+
+    // --- Engine-facing API ------------------------------------------
+
+    bool hasNode(CoreId core, LineAddr line) const;
+    bool nodeValid(CoreId core, LineAddr line) const;
+    bool nodeDirty(CoreId core, LineAddr line) const;
+
+    /** Sharing-list neighbours (testing/introspection): towards the
+     *  tail / towards the head; invalidCore at the ends. */
+    CoreId nodeFwd(CoreId core, LineAddr line) const;
+    CoreId nodeBwd(CoreId core, LineAddr line) const;
+
+    /** Is (core, line)'s node its sharing list's tail? */
+    bool nodeIsTail(CoreId core, LineAddr line) const;
+
+    /**
+     * Persist-token view of tailness: true iff no *dirty* (unpersisted)
+     * version exists below (core, line)'s node.  Valid clean sharers
+     * below a node hold no persist obligation — the token passes
+     * through them ("invalidated unmodified tails immediately pass the
+     * token"; still-valid persisted versions stay as plain sharers).
+     */
+    bool nodeIsPersistTail(CoreId core, LineAddr line) const;
+
+    /** This version's contents (node must exist). */
+    const LineWords &nodeWords(CoreId core, LineAddr line) const;
+
+    /**
+     * The persist of (core, line)'s version completed (it is buffered
+     * in the AGB / written through the LLC).  Writes the version to the
+     * LLC, then unlinks the node if it is invalid or evicted, passing
+     * the persist token; a still-valid node simply becomes clean.
+     * The node must be its list's tail (§IV-A principle 3).
+     */
+    void persistComplete(CoreId core, LineAddr line, Cycle now);
+
+    /**
+     * An atomic group that held (core, line) as a *clean* member
+     * persisted; the node may unlink if it is invalid or evicted.
+     */
+    void releaseCleanMember(CoreId core, LineAddr line, Cycle now);
+
+    /** Current occupancy of @p core's eviction buffer (§III-B). */
+    unsigned evictionBufferOccupancy(CoreId core) const
+    {
+        return evictBufOcc_[core];
+    }
+
+    /** Number of nodes currently on @p line's sharing list. */
+    unsigned listLength(LineAddr line) const;
+
+    /** Number of *valid* nodes on @p line's list (coherence view). */
+    unsigned validListLength(LineAddr line) const;
+
+    /** Walk every existing node (testing / final drain). */
+    void forEachNode(
+        const std::function<void(CoreId, LineAddr, bool dirty,
+                                 bool valid)> &fn) const;
+
+  private:
+    struct Node
+    {
+        CoreId fwd = invalidCore;  ///< Toward the tail (older).
+        CoreId bwd = invalidCore;  ///< Toward the head (newer).
+        bool valid = true;
+        bool dirty = false;
+        bool evicted = false;      ///< Lives in the eviction buffer.
+        Cycle dataReadyAt = 0;     ///< When this copy's data arrives.
+        LineWords words{};
+    };
+
+    struct Entry
+    {
+        CoreId head = invalidCore;
+        bool zombie = false; ///< Mid-teardown after a directory eviction.
+    };
+
+    Node *findNode(CoreId core, LineAddr line);
+    const Node *findNode(CoreId core, LineAddr line) const;
+    Node &node(CoreId core, LineAddr line);
+
+    unsigned bankOf(LineAddr line) const
+    {
+        return static_cast<unsigned>(line) & (banks_ - 1);
+    }
+
+    /** Dispatch a miss/upgrade transaction to the directory. */
+    void submitTxn(CoreId core, LineAddr line, LineSerializer::Body body,
+                   Cycle departAt);
+
+    /** Transaction bodies (run at directory dispatch). */
+    Cycle loadTxn(CoreId core, Addr addr, LoadDone done, Cycle t);
+    Cycle storeTxn(CoreId core, Addr addr, StoreId store, StoreDone done,
+                   Cycle t);
+
+    /**
+     * Handle a blocked transaction: the core's own node is invalid and
+     * must clear (pending persist / frozen AG) before the access may
+     * proceed.  Otherwise a stale clean copy is spliced; *relinked is
+     * set if it was an AG member (the caller must fire onNodeRelinked
+     * after re-creating the node at the head).
+     * @return true if the caller must wait (waiter registered).
+     */
+    bool mustWaitForOwnNode(CoreId core, LineAddr line,
+                            std::function<void()> retry, Cycle t,
+                            bool *relinked = nullptr);
+
+    /** Fetch timing + contents when no valid cached copy exists. */
+    std::pair<Cycle, LineWords> fetchFromMemory(CoreId core, LineAddr line,
+                                                Cycle t);
+
+    /** Prepend @p core as the new head of @p line's list. */
+    Node &prependNode(CoreId core, LineAddr line);
+
+    /**
+     * Mark all valid nodes below @p newHead invalid (background inv).
+     * @p alreadyExposed names a node whose dirty-expose hook the data
+     * path already fired (the old head that supplied the data).
+     */
+    void invalidateBelow(CoreId newHead, LineAddr line, Cycle t,
+                         CoreId alreadyExposed = invalidCore);
+
+    /** Splice (core, line)'s node out of its list and erase it. */
+    void unlinkNode(CoreId core, LineAddr line, Cycle t);
+
+    /**
+     * A version at/below @p fromCore 's node persisted: fire
+     * onBecameTail for each node walking headwards from @p fromCore,
+     * stopping after the first dirty node (which now holds the token;
+     * everything above it is still blocked).
+     */
+    void notifyPersistTailUpward(CoreId fromCore, LineAddr line, Cycle t);
+
+    /** Capacity insert into @p core's array; handles the victim. */
+    void insertResident(CoreId core, LineAddr line, Cycle t);
+
+    void handleVictim(CoreId core, LineAddr victim, Cycle t);
+
+    /** Directory-entry teardown after a directory eviction (§III-B). */
+    void teardownEntry(LineAddr victim, Cycle t);
+
+    void maybeReleaseEntry(LineAddr line, Cycle t);
+
+    void notifyNodeWaiters(CoreId core, LineAddr line);
+
+    void sampleListStats(LineAddr line);
+
+    void enterEvictBuffer(CoreId core);
+    void leaveEvictBuffer(CoreId core);
+
+    // --- wiring -------------------------------------------------------
+    const SystemConfig &cfg_;
+    EventQueue &eq_;
+    Mesh &mesh_;
+    Llc &llc_;
+    Nvm &nvm_;
+    StatsRegistry &stats_;
+    LineSerializer serializer_;
+    DirectoryCapacity capacity_;
+    unsigned banks_;
+    Cycle dirLatency_ = 6;
+
+    std::vector<std::unordered_map<LineAddr, Node>> nodes_; ///< Per core.
+    std::vector<CacheArray> arrays_;                        ///< Per core.
+    std::unordered_map<LineAddr, Entry> entries_;
+    std::vector<unsigned> evictBufOcc_;
+
+    /** Accesses blocked on the owning core's pending node. */
+    std::unordered_map<std::uint64_t,
+                       std::vector<std::function<void()>>> nodeWaiters_;
+    /** Transactions blocked on a zombie entry teardown. */
+    std::unordered_map<LineAddr,
+                       std::vector<std::function<void()>>> zombieWaiters_;
+
+    // --- stats ---------------------------------------------------------
+    Counter &hits_;
+    Counter &misses_;
+    Counter &upgrades_;
+    Counter &coherenceWb_;
+    Histogram &persistListLen_;
+    Histogram &coherenceListLen_;
+    Histogram &evictBufHist_;
+
+    static std::uint64_t
+    waiterKey(CoreId core, LineAddr line)
+    {
+        return (static_cast<std::uint64_t>(core) << 52) ^ line;
+    }
+};
+
+} // namespace tsoper
+
+#endif // TSOPER_COHERENCE_SLC_HH

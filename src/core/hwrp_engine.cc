@@ -1,0 +1,218 @@
+#include "core/hwrp_engine.hh"
+
+#include <algorithm>
+
+#include "sim/debug.hh"
+#include "sim/log.hh"
+
+namespace tsoper
+{
+
+HwRpEngine::HwRpEngine(const SystemConfig &cfg, EventQueue &eq,
+                       SlcProtocol &slc, Nvm &nvm, StatsRegistry &stats)
+    : cfg_(cfg), eq_(eq), slc_(slc), nvm_(nvm),
+      sfrDirty_(cfg.numCores), sfrStoreCount_(cfg.numCores, 0),
+      batchDoneAt_(cfg.numCores, 0),
+      wpqPortBusy_(cfg.nvmRanks, 0), wpqCompletions_(cfg.nvmRanks),
+      outstanding_(cfg.numCores, 0), syncWaiters_(cfg.numCores),
+      persistWb_(stats.counter("traffic.persist_wb")),
+      spontaneous_(stats.counter("hwrp.spontaneous_persists")),
+      sfrCount_(stats.counter("hwrp.sfrs")),
+      sfrSizeHist_(stats.histogram("hwrp.sfr_lines")),
+      sfrStoresHist_(stats.histogram("hwrp.sfr_stores")),
+      sfrStoresT_(stats.timeSeries("hwrp.sfr_stores_t"))
+{
+}
+
+void
+HwRpEngine::onStoreCommitted(CoreId core, LineAddr line, Cycle now)
+{
+    (void)now;
+    sfrDirty_[static_cast<unsigned>(core)].insert(line);
+    ++sfrStoreCount_[static_cast<unsigned>(core)];
+}
+
+Cycle
+HwRpEngine::onDirtyExpose(CoreId owner, LineAddr line, CoreId requester,
+                          bool forWrite, Cycle now)
+{
+    (void)requester;
+    if (forWrite) {
+        // The version is superseded by the new writer; under relaxed
+        // persistency the old version need not persist (the new
+        // writer's full-line version carries its words).
+        sfrDirty_[static_cast<unsigned>(owner)].erase(line);
+    }
+    return now;
+}
+
+Cycle
+HwRpEngine::persistLine(CoreId core, LineAddr line, const LineWords &words,
+                        Cycle earliest)
+{
+    const unsigned r = nvm_.rankOf(line);
+    Cycle entry = std::max(earliest, wpqPortBusy_[r]);
+    auto &hist = wpqCompletions_[r];
+    // The WPQ holds at most wpqEntriesPerMc in-flight lines: the k-th
+    // entry waits for the (k - depth)-th NVM completion.
+    if (hist.size() >= cfg_.wpqEntriesPerMc)
+        entry = std::max(entry, hist.front());
+    wpqPortBusy_[r] = entry + 2;
+    persistWb_.inc();
+    const auto c = static_cast<unsigned>(core);
+    ++outstanding_[c];
+    ++outstandingTotal_;
+    // Durable at WPQ entry: record the contents for the crash overlay.
+    eq_.schedule(entry, [this, line, words] {
+        wpqContents_[line] = words;
+        ++wpqPendingCount_[line];
+    });
+    const Cycle completion =
+        nvm_.write(line, words, entry,
+                   [this, core, line](Cycle) { lineDone(core, line); });
+    hist.push_back(completion);
+    if (hist.size() > cfg_.wpqEntriesPerMc)
+        hist.pop_front();
+    return entry;
+}
+
+void
+HwRpEngine::onDirtyEvict(CoreId owner, LineAddr line, ExposeReason why,
+                         Cycle now)
+{
+    (void)why;
+    auto &set = sfrDirty_[static_cast<unsigned>(owner)];
+    if (!set.erase(line))
+        return;
+    // Spontaneous persist: the evicted version goes straight to the
+    // persist queue (the node is still alive during this hook).  It
+    // belongs to the current SFR, so it orders behind previous batches.
+    spontaneous_.inc();
+    persistLine(owner, line, slc_.nodeWords(owner, line),
+                std::max(now, batchDoneAt_[static_cast<unsigned>(owner)]));
+}
+
+void
+HwRpEngine::onSync(CoreId core, Cycle now)
+{
+    flushSfr(core, now);
+}
+
+void
+HwRpEngine::onSyncEvent(CoreId core, Cycle now, SyncEvent event,
+                        unsigned id)
+{
+    (void)now;
+    const auto c = static_cast<unsigned>(core);
+    switch (event) {
+      case SyncEvent::LockAcquire:
+        batchDoneAt_[c] = std::max(batchDoneAt_[c], lockClock_[id]);
+        break;
+      case SyncEvent::LockRelease:
+        lockClock_[id] = std::max(lockClock_[id], batchDoneAt_[c]);
+        break;
+      case SyncEvent::BarrierArrive:
+        barrierClock_[id] = std::max(barrierClock_[id], batchDoneAt_[c]);
+        break;
+      case SyncEvent::BarrierResume:
+        batchDoneAt_[c] = std::max(batchDoneAt_[c], barrierClock_[id]);
+        break;
+    }
+}
+
+void
+HwRpEngine::flushSfr(CoreId core, Cycle now)
+{
+    const auto c = static_cast<unsigned>(core);
+    sfrCount_.inc();
+    sfrSizeHist_.add(sfrDirty_[c].size());
+    sfrStoresHist_.add(sfrStoreCount_[c]);
+    sfrStoresT_.sample(now, static_cast<double>(sfrStoreCount_[c]));
+    sfrStoreCount_[c] = 0;
+    auto lines = std::move(sfrDirty_[c]);
+    sfrDirty_[c].clear();
+    if (lines.empty())
+        return;
+    // Persist order across synchronization: this batch's WPQ entries
+    // start after the previous batch's entries; within the batch, no
+    // order.
+    const Cycle start = std::max(now, batchDoneAt_[c]);
+    TSOPER_TRACE(HwRp, now, "core " << core << " SFR flush ("
+                 << lines.size() << " lines), batch starts at "
+                 << start);
+    Cycle done = start;
+    for (LineAddr line : lines) {
+        if (!slc_.hasNode(core, line) || !slc_.nodeDirty(core, line))
+            continue; // Superseded or already spontaneously persisted.
+        const Cycle entry =
+            persistLine(core, line, slc_.nodeWords(core, line), start);
+        done = std::max(done, entry);
+    }
+    batchDoneAt_[c] = done;
+}
+
+void
+HwRpEngine::lineDone(CoreId core, LineAddr line)
+{
+    const auto c = static_cast<unsigned>(core);
+    tsoper_assert(outstanding_[c] > 0);
+    --outstanding_[c];
+    --outstandingTotal_;
+    auto it = wpqPendingCount_.find(line);
+    if (it != wpqPendingCount_.end() && --it->second == 0) {
+        wpqPendingCount_.erase(it);
+        wpqContents_.erase(line);
+    }
+    if (outstanding_[c] <= cfg_.hwrpQueueEntries) {
+        auto waiters = std::move(syncWaiters_[c]);
+        syncWaiters_[c].clear();
+        for (auto &w : waiters)
+            eq_.scheduleIn(0, std::move(w));
+    }
+    if (draining_ && drainDone_ && outstandingTotal_ == 0) {
+        auto done = std::move(drainDone_);
+        drainDone_ = nullptr;
+        eq_.scheduleIn(0, std::move(done));
+    }
+}
+
+bool
+HwRpEngine::syncMayProceed(CoreId core)
+{
+    return outstanding_[static_cast<unsigned>(core)] <=
+           cfg_.hwrpQueueEntries;
+}
+
+void
+HwRpEngine::addSyncWaiter(CoreId core, std::function<void()> retry)
+{
+    syncWaiters_[static_cast<unsigned>(core)].push_back(std::move(retry));
+}
+
+void
+HwRpEngine::drain(std::function<void()> done)
+{
+    draining_ = true;
+    drainDone_ = std::move(done);
+    for (unsigned c = 0; c < cfg_.numCores; ++c)
+        flushSfr(static_cast<CoreId>(c), eq_.now());
+    if (outstandingTotal_ == 0 && drainDone_) {
+        auto cb = std::move(drainDone_);
+        drainDone_ = nullptr;
+        eq_.scheduleIn(0, std::move(cb));
+    }
+}
+
+bool
+HwRpEngine::quiescent() const
+{
+    return outstandingTotal_ == 0;
+}
+
+std::unordered_map<LineAddr, LineWords>
+HwRpEngine::crashOverlay() const
+{
+    return wpqContents_;
+}
+
+} // namespace tsoper

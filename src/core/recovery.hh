@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Post-crash recovery: reconstruct the durable memory image of a
+ * crashed system (NVM contents plus the committed prefix of the
+ * power-backed persist buffers), audit it against the recorded
+ * execution, and optionally carry it into a fresh system — the
+ * software-visible face of the paper's durability guarantee.
+ */
+
+#ifndef TSOPER_CORE_RECOVERY_HH
+#define TSOPER_CORE_RECOVERY_HH
+
+#include <string>
+#include <unordered_map>
+
+#include "core/crash_checker.hh"
+#include "mem/nvm.hh"
+#include "sim/types.hh"
+
+namespace tsoper
+{
+
+class System;
+
+struct RecoveryReport
+{
+    /** Lines with at least one durable word. */
+    std::size_t durableLines = 0;
+    /** Durable (written) words in total. */
+    std::size_t durableWords = 0;
+    /** Lines whose newest durable version came from the persist
+     *  buffer's committed prefix rather than NVM proper. */
+    std::size_t bufferRecoveredLines = 0;
+    /** Consistency audit (only meaningful if a store log was kept). */
+    CheckResult consistency;
+    bool audited = false;
+
+    /** Human-readable one-paragraph summary. */
+    std::string summary() const;
+};
+
+/**
+ * Reconstruct and audit the durable state of @p sys at its current
+ * instant (typically right after System::runUntilCrash).  When the
+ * system recorded its execution (SystemConfig::recordStores), the
+ * image is additionally checked to be a legal cut under @p model.
+ */
+RecoveryReport recover(System &sys, PersistModel model);
+
+/**
+ * Audit an externally captured durable image against a store log.
+ * @p log may be null (no consistency check, counts only).
+ */
+RecoveryReport auditImage(
+    const std::unordered_map<LineAddr, LineWords> &durable,
+    const StoreLog *log, PersistModel model, unsigned numCores);
+
+} // namespace tsoper
+
+#endif // TSOPER_CORE_RECOVERY_HH

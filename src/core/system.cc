@@ -1,0 +1,150 @@
+#include "core/system.hh"
+
+#include <algorithm>
+
+#include "core/bsp_engine.hh"
+#include "core/hwrp_engine.hh"
+#include "core/stw_engine.hh"
+#include "core/tsoper_engine.hh"
+#include "sim/log.hh"
+
+namespace tsoper
+{
+
+System::System(const SystemConfig &cfg, const Workload &workload)
+    : cfg_(cfg), mesh_(cfg_, stats_), nvm_(cfg_, eq_, stats_),
+      llc_(cfg_, nvm_, stats_), sync_(cfg_.numCores, eq_)
+{
+    cfg_.validate();
+    tsoper_assert(workload.perCore.size() == cfg_.numCores,
+                  "workload core count (", workload.perCore.size(),
+                  ") != configured cores (", cfg_.numCores, ")");
+
+    if (cfg_.protocol == ProtocolKind::Slc) {
+        slc_ = std::make_unique<SlcProtocol>(cfg_, eq_, mesh_, llc_, nvm_,
+                                             stats_);
+        proto_ = slc_.get();
+    } else {
+        mesi_ = std::make_unique<MesiProtocol>(cfg_, eq_, mesh_, llc_,
+                                               nvm_, stats_);
+        proto_ = mesi_.get();
+    }
+
+    const bool needsAgb = cfg_.engine == EngineKind::Tsoper ||
+                          cfg_.engine == EngineKind::Stw ||
+                          cfg_.engine == EngineKind::BspSlcAgb;
+    if (needsAgb)
+        agb_ = std::make_unique<Agb>(cfg_, eq_, mesh_, nvm_, llc_,
+                                     stats_);
+
+    switch (cfg_.engine) {
+      case EngineKind::None:
+        engine_ = std::make_unique<NoPersistEngine>();
+        break;
+      case EngineKind::Tsoper:
+        engine_ = std::make_unique<TsoperEngine>(cfg_, eq_, *slc_, *agb_,
+                                                 stats_);
+        break;
+      case EngineKind::Stw:
+        engine_ = std::make_unique<StwEngine>(cfg_, eq_, *slc_, *agb_,
+                                              stats_);
+        break;
+      case EngineKind::Bsp:
+        engine_ = std::make_unique<BspEngine>(cfg_, eq_, mesh_, llc_,
+                                              nvm_, mesi_.get(), nullptr,
+                                              nullptr, stats_,
+                                              BspEngine::Mode::Bsp);
+        break;
+      case EngineKind::BspSlc:
+        engine_ = std::make_unique<BspEngine>(cfg_, eq_, mesh_, llc_,
+                                              nvm_, nullptr, slc_.get(),
+                                              nullptr, stats_,
+                                              BspEngine::Mode::BspSlc);
+        break;
+      case EngineKind::BspSlcAgb:
+        engine_ = std::make_unique<BspEngine>(
+            cfg_, eq_, mesh_, llc_, nvm_, nullptr, slc_.get(), agb_.get(),
+            stats_, BspEngine::Mode::BspSlcAgb);
+        break;
+      case EngineKind::HwRp:
+        tsoper_assert(slc_, "HW-RP runs on the SLC baseline");
+        engine_ = std::make_unique<HwRpEngine>(cfg_, eq_, *slc_, nvm_,
+                                               stats_);
+        break;
+    }
+    proto_->setHooks(engine_.get());
+
+    log_ = std::make_unique<StoreLog>(cfg_.numCores);
+    log_->setEnabled(cfg_.recordStores);
+    if (cfg_.recordStores)
+        proto_->setStoreLog(log_.get());
+
+    cpus_.reserve(cfg_.numCores);
+    for (unsigned c = 0; c < cfg_.numCores; ++c) {
+        cpus_.push_back(std::make_unique<Cpu>(
+            static_cast<CoreId>(c), cfg_, eq_, *proto_, *engine_, sync_,
+            cfg_.recordStores ? log_.get() : nullptr, stats_));
+        cpus_.back()->setTrace(&workload.perCore[c]);
+        cpus_.back()->onFinished([this] { ++finishedCount_; });
+    }
+}
+
+System::~System() = default;
+
+Cycle
+System::run(Cycle maxCycles)
+{
+    for (auto &cpu : cpus_)
+        cpu->start();
+    eq_.runUntil([this] { return allFinished(); }, maxCycles);
+    if (!allFinished())
+        tsoper_fatal("simulation did not finish within ", maxCycles,
+                     " cycles (", finishedCount_, "/", cfg_.numCores,
+                     " cores done at cycle ", eq_.now(), ")");
+    const Cycle finish = finishCycle();
+    stats_.counter("sys.exec_cycles").inc(finish);
+    bool drained = false;
+    engine_->drain([&drained] { drained = true; });
+    eq_.runUntil([&drained] { return drained; }, maxCycles);
+    tsoper_assert(drained, "persistency drain did not complete");
+    stats_.counter("sys.drain_cycles").inc(eq_.now() - finish);
+    return finish;
+}
+
+std::unordered_map<LineAddr, LineWords>
+System::runUntilCrash(Cycle crashAt)
+{
+    for (auto &cpu : cpus_)
+        cpu->start();
+    eq_.run(crashAt);
+    return durableImage();
+}
+
+std::unordered_map<LineAddr, LineWords>
+System::durableImage() const
+{
+    std::unordered_map<LineAddr, LineWords> image = nvm_.image();
+    for (const auto &[line, words] : engine_->crashOverlay()) {
+        auto [it, fresh] = image.try_emplace(line, zeroLine());
+        (void)fresh;
+        mergeWords(it->second, words);
+    }
+    return image;
+}
+
+Cycle
+System::finishCycle() const
+{
+    Cycle finish = 0;
+    for (const auto &cpu : cpus_)
+        finish = std::max(finish, cpu->finishedAt());
+    return finish;
+}
+
+bool
+System::allFinished() const
+{
+    return finishedCount_ == cfg_.numCores;
+}
+
+} // namespace tsoper

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The System facade: the library's main public entry point.
+ *
+ * Builds a complete simulated machine from a SystemConfig (cores,
+ * store buffers, private caches, NoC, LLC, directory, NVM, AGB,
+ * coherence protocol, persistency engine), executes a Workload, and
+ * exposes the statistics, the durable state and crash injection.
+ *
+ * Typical use (see examples/quickstart.cpp):
+ *
+ *   SystemConfig cfg = makeConfig(EngineKind::Tsoper);
+ *   cfg.recordStores = true;
+ *   Workload w = generateByName("ocean_cp", cfg.numCores, 42);
+ *   System sys(cfg, w);
+ *   sys.run();
+ *   sys.stats().dump(std::cout);
+ */
+
+#ifndef TSOPER_CORE_SYSTEM_HH
+#define TSOPER_CORE_SYSTEM_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "coherence/mesi.hh"
+#include "coherence/slc.hh"
+#include "core/agb.hh"
+#include "core/cpu.hh"
+#include "core/engine.hh"
+#include "mem/llc.hh"
+#include "mem/nvm.hh"
+#include "noc/mesh.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/store_log.hh"
+#include "workload/trace.hh"
+
+namespace tsoper
+{
+
+class System
+{
+  public:
+    System(const SystemConfig &cfg, const Workload &workload);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /**
+     * Run the workload to completion, then drain the persistency
+     * engine.  @return the cycle all cores finished (the paper's
+     * execution-time metric; the drain tail is excluded).
+     * Fatal if the simulation exceeds @p maxCycles (likely deadlock).
+     */
+    Cycle run(Cycle maxCycles = 4'000'000'000ull);
+
+    /**
+     * Run until @p crashAt, then stop the machine cold.
+     * @return the durable state: the NVM image plus the engine's
+     * persistent-domain overlay (committed AGB prefix).
+     */
+    std::unordered_map<LineAddr, LineWords> runUntilCrash(Cycle crashAt);
+
+    /** Durable state at the current instant (NVM + overlay). */
+    std::unordered_map<LineAddr, LineWords> durableImage() const;
+
+    /** Cycle at which the last core finished (0 if not done). */
+    Cycle finishCycle() const;
+
+    bool allFinished() const;
+
+    StatsRegistry &stats() { return stats_; }
+    const StatsRegistry &stats() const { return stats_; }
+    const StoreLog &storeLog() const { return *log_; }
+    const SystemConfig &config() const { return cfg_; }
+    EventQueue &eventQueue() { return eq_; }
+
+    PersistEngine &engine() { return *engine_; }
+    CoherenceProtocol &protocol() { return *proto_; }
+    SlcProtocol *slc() { return slc_.get(); }
+    MesiProtocol *mesi() { return mesi_.get(); }
+    Agb *agb() { return agb_.get(); }
+    Nvm &nvm() { return nvm_; }
+    Llc &llc() { return llc_; }
+    const Cpu &cpu(CoreId c) const { return *cpus_[(unsigned)c]; }
+
+  private:
+    SystemConfig cfg_;
+    StatsRegistry stats_;
+    EventQueue eq_;
+    Mesh mesh_;
+    Nvm nvm_;
+    Llc llc_;
+    std::unique_ptr<SlcProtocol> slc_;
+    std::unique_ptr<MesiProtocol> mesi_;
+    CoherenceProtocol *proto_ = nullptr;
+    std::unique_ptr<Agb> agb_;
+    std::unique_ptr<PersistEngine> engine_;
+    std::unique_ptr<StoreLog> log_;
+    SyncCoordinator sync_;
+    std::vector<std::unique_ptr<Cpu>> cpus_;
+    unsigned finishedCount_ = 0;
+};
+
+} // namespace tsoper
+
+#endif // TSOPER_CORE_SYSTEM_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Shared, banked last-level cache.
+ *
+ * The LLC is a functional backing store between the private caches and
+ * NVM: writebacks install versions here; private-cache misses with no
+ * remote valid copy are served from here; capacity evictions of dirty
+ * lines write to NVM.  For BSP it additionally models *LLC exclusion*
+ * (Definition 2 of the paper): a line with a persist pending to NVM
+ * cannot accept a newer version until that persist completes.
+ */
+
+#ifndef TSOPER_MEM_LLC_HH
+#define TSOPER_MEM_LLC_HH
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/cache_array.hh"
+#include "mem/nvm.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace tsoper
+{
+
+class Llc
+{
+  public:
+    Llc(const SystemConfig &cfg, Nvm &nvm, StatsRegistry &stats);
+
+    unsigned
+    bankOf(LineAddr line) const
+    {
+        return static_cast<unsigned>(line) & (banks_ - 1);
+    }
+
+    /**
+     * Timing of one bank access (tag + data) starting no earlier than
+     * @p when; models per-bank occupancy. @return completion cycle.
+     */
+    Cycle access(LineAddr line, Cycle when);
+
+    bool contains(LineAddr line) const;
+
+    /** Current contents; @p line must be resident. */
+    const LineWords &lookup(LineAddr line) const;
+
+    /**
+     * Install a version coming down from a private cache (dirty) or up
+     * from NVM (clean fill).  May displace a victim; a dirty victim is
+     * durably written to NVM (timing charged from @p now).
+     */
+    void install(LineAddr line, const LineWords &words, bool dirty,
+                 Cycle now);
+
+    /** Merge words into a resident line (partial writeback). */
+    void merge(LineAddr line, const LineWords &words, bool dirty,
+               Cycle now);
+
+    // --- BSP LLC exclusion ------------------------------------------
+    /** Cycle until which @p line 's current LLC version must persist
+     *  before a newer version may be installed (0 if none pending). */
+    Cycle persistPendingUntil(LineAddr line) const;
+
+    void setPersistPending(LineAddr line, Cycle until);
+
+    // --- AGB inclusion (§II-B future optimization, implemented) ------
+    /**
+     * Pin @p line while a version of it sits in the AGB awaiting its
+     * NVM write.  Pinned lines are never LLC victims, which (a) makes
+     * the LLC inclusive of the AGB so loads never need to search it,
+     * and (b) prevents an LLC eviction from racing an in-flight AGB
+     * drain to NVM with a newer same-address version.  Pins nest.
+     */
+    void pinForAgb(LineAddr line);
+    void unpinForAgb(LineAddr line);
+
+    bool isPinned(LineAddr line) const;
+
+    std::size_t population() const;
+
+  private:
+    struct Meta
+    {
+        LineWords words;
+        bool dirty = false;
+        Cycle persistPendingUntil = 0;
+    };
+
+    unsigned banks_;
+    Cycle latency_;
+    Cycle occupancy_ = 2;
+    Nvm &nvm_;
+    std::vector<CacheArray> arrays_;
+    std::vector<Cycle> bankBusyUntil_;
+    std::unordered_map<LineAddr, Meta> meta_;
+    std::unordered_map<LineAddr, unsigned> agbPins_;
+    Counter &hits_;
+    Counter &installs_;
+    Counter &dirtyEvicts_;
+};
+
+} // namespace tsoper
+
+#endif // TSOPER_MEM_LLC_HH

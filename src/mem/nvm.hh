@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Non-volatile memory model: 8 DDR-style ranks, one memory controller
+ * each, with the paper's 360/240-cycle write/read service latencies
+ * (Table I).  Each rank services requests serially.
+ *
+ * The durable image maps cachelines to per-word StoreIds; a word's
+ * StoreId identifies the dynamic store whose value the word holds,
+ * which is what the crash checker validates against the recorded
+ * execution.  Writes become durable at their *completion* event, so
+ * simply stopping the event queue at a crash point yields the correct
+ * durable state.
+ */
+
+#ifndef TSOPER_MEM_NVM_HH
+#define TSOPER_MEM_NVM_HH
+
+#include <array>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace tsoper
+{
+
+/** Functional contents of one cacheline version, one StoreId per word. */
+using LineWords = std::array<StoreId, wordsPerLine>;
+
+/** All-zero line contents (no store has written any word). */
+inline LineWords
+zeroLine()
+{
+    LineWords w{};
+    w.fill(invalidStore);
+    return w;
+}
+
+/** Overlay @p src onto @p dst: non-invalid words of src win. */
+inline void
+mergeWords(LineWords &dst, const LineWords &src)
+{
+    for (unsigned i = 0; i < wordsPerLine; ++i) {
+        if (src[i] != invalidStore)
+            dst[i] = src[i];
+    }
+}
+
+class Nvm
+{
+  public:
+    Nvm(const SystemConfig &cfg, EventQueue &eq, StatsRegistry &stats);
+
+    /** Memory controller / rank that owns @p line. */
+    unsigned
+    rankOf(LineAddr line) const
+    {
+        return static_cast<unsigned>(line) & (ranks_ - 1);
+    }
+
+    /**
+     * Enqueue a durable write of @p words to @p line, not starting
+     * before @p earliest.  The write is applied to the durable image at
+     * its completion event; @p done (optional) is invoked then.
+     * @return the completion cycle.
+     */
+    Cycle write(LineAddr line, const LineWords &words, Cycle earliest,
+                std::function<void(Cycle)> done = {});
+
+    /** Timing-only read service. @return the completion cycle. */
+    Cycle read(LineAddr line, Cycle earliest);
+
+    /** Durable contents of @p line (zero line if never written). */
+    LineWords durable(LineAddr line) const;
+
+    /** Lines that have ever been durably written. */
+    const std::unordered_map<LineAddr, LineWords> &image() const
+    {
+        return image_;
+    }
+
+    std::uint64_t writesCompleted() const { return writesDone_.value(); }
+
+  private:
+    unsigned ranks_;
+    Cycle writeLatency_;
+    Cycle readLatency_;
+    Cycle writeOccupancy_;
+    Cycle readOccupancy_;
+    EventQueue &eq_;
+    std::vector<Cycle> rankBusyUntil_;
+    std::unordered_map<LineAddr, LineWords> image_;
+    Counter &writesIssued_;
+    Counter &writesDone_;
+    Counter &reads_;
+    Counter &rankWaitCycles_;
+};
+
+} // namespace tsoper
+
+#endif // TSOPER_MEM_NVM_HH

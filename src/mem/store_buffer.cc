@@ -1,0 +1,50 @@
+#include "mem/store_buffer.hh"
+
+#include "sim/log.hh"
+
+namespace tsoper
+{
+
+void
+StoreBuffer::push(Addr addr, StoreId store)
+{
+    tsoper_assert(!full(), "store buffer overflow");
+    entries_.push_back(Entry{addr, store});
+}
+
+const StoreBuffer::Entry &
+StoreBuffer::front() const
+{
+    tsoper_assert(!entries_.empty(), "front() on empty store buffer");
+    return entries_.front();
+}
+
+void
+StoreBuffer::pop()
+{
+    tsoper_assert(!entries_.empty(), "pop() on empty store buffer");
+    entries_.pop_front();
+}
+
+std::optional<StoreId>
+StoreBuffer::forward(Addr addr) const
+{
+    const Addr word = addr >> wordShift;
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+        if ((it->addr >> wordShift) == word)
+            return it->store;
+    }
+    return std::nullopt;
+}
+
+bool
+StoreBuffer::containsLine(LineAddr line) const
+{
+    for (const Entry &e : entries_) {
+        if (lineOf(e.addr) == line)
+            return true;
+    }
+    return false;
+}
+
+} // namespace tsoper

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Per-core FIFO store buffer implementing TSO semantics.
+ *
+ * Stores retire from the core into the buffer and drain to the private
+ * cache strictly in program order.  Loads search the buffer youngest-
+ * to-oldest for a same-word entry (store-to-load forwarding); loads to
+ * other addresses may bypass buffered stores, as TSO permits.
+ */
+
+#ifndef TSOPER_MEM_STORE_BUFFER_HH
+#define TSOPER_MEM_STORE_BUFFER_HH
+
+#include <deque>
+#include <optional>
+
+#include "sim/types.hh"
+
+namespace tsoper
+{
+
+class StoreBuffer
+{
+  public:
+    struct Entry
+    {
+        Addr addr;     ///< Byte address (word-aligned).
+        StoreId store; ///< Unique id doubling as the stored value.
+    };
+
+    explicit StoreBuffer(unsigned capacity) : capacity_(capacity) {}
+
+    bool full() const { return entries_.size() >= capacity_; }
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+    unsigned capacity() const { return capacity_; }
+
+    /** Append a store; the caller must have checked !full(). */
+    void push(Addr addr, StoreId store);
+
+    /** Oldest (next to drain) entry; buffer must be non-empty. */
+    const Entry &front() const;
+
+    /** Drain the oldest entry. */
+    void pop();
+
+    /**
+     * Youngest buffered store to the same word as @p addr, if any —
+     * the value a TSO load of @p addr must observe.
+     */
+    std::optional<StoreId> forward(Addr addr) const;
+
+    /** Does any buffered store target cacheline @p line? */
+    bool containsLine(LineAddr line) const;
+
+  private:
+    unsigned capacity_;
+    std::deque<Entry> entries_;
+};
+
+} // namespace tsoper
+
+#endif // TSOPER_MEM_STORE_BUFFER_HH

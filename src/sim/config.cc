@@ -1,0 +1,129 @@
+#include "sim/config.hh"
+
+#include <ostream>
+
+#include "sim/log.hh"
+
+namespace tsoper
+{
+
+const char *
+toString(ProtocolKind kind)
+{
+    switch (kind) {
+      case ProtocolKind::Mesi: return "MESI";
+      case ProtocolKind::Slc:  return "SLC";
+    }
+    return "?";
+}
+
+const char *
+toString(EngineKind kind)
+{
+    switch (kind) {
+      case EngineKind::None:      return "baseline";
+      case EngineKind::Stw:       return "STW";
+      case EngineKind::Bsp:       return "BSP";
+      case EngineKind::BspSlc:    return "BSP+SLC";
+      case EngineKind::BspSlcAgb: return "BSP+SLC+AGB";
+      case EngineKind::HwRp:      return "HW-RP";
+      case EngineKind::Tsoper:    return "TSOPER";
+    }
+    return "?";
+}
+
+static bool
+isPow2(unsigned v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+void
+SystemConfig::validate() const
+{
+    if (numCores == 0 || numCores > 64)
+        tsoper_fatal("numCores must be in [1, 64], got ", numCores);
+    if (!isPow2(privSets) || !isPow2(llcSets))
+        tsoper_fatal("cache set counts must be powers of two");
+    if (!isPow2(llcBanks) || !isPow2(nvmRanks))
+        tsoper_fatal("bank/rank counts must be powers of two");
+    if (privWays == 0 || llcWays == 0)
+        tsoper_fatal("cache associativity must be non-zero");
+    if (storeBufferEntries == 0)
+        tsoper_fatal("store buffer must have at least one entry");
+    if (agMaxLines == 0)
+        tsoper_fatal("agMaxLines must be non-zero");
+    if (!agbUnbounded && agMaxLines > agbSliceLines * nvmRanks)
+        tsoper_fatal("an atomic group (", agMaxLines,
+                     " lines) cannot exceed total AGB capacity (",
+                     agbSliceLines * nvmRanks, " lines)");
+    if (meshCols * meshRows < numCores + llcBanks)
+        tsoper_fatal("mesh too small: need ", numCores + llcBanks,
+                     " nodes, have ", meshCols * meshRows);
+    const bool needsSlc = engine == EngineKind::Tsoper ||
+                          engine == EngineKind::Stw ||
+                          engine == EngineKind::BspSlc ||
+                          engine == EngineKind::BspSlcAgb ||
+                          engine == EngineKind::HwRp;
+    if (needsSlc && protocol != ProtocolKind::Slc)
+        tsoper_fatal(toString(engine), " requires the SLC protocol");
+    if (engine == EngineKind::Bsp && protocol != ProtocolKind::Mesi)
+        tsoper_fatal("BSP persists through the LLC on MESI");
+}
+
+void
+SystemConfig::describe(std::ostream &os) const
+{
+    os << "System configuration (cf. paper Table I)\n"
+       << "  Cores                 " << numCores
+       << " in-order, TSO, " << storeBufferEntries << "-entry SB\n"
+       << "  Private cache         " << (privSets * privWays * lineBytes /
+                                         1024)
+       << " KiB, " << privWays << "-way, " << privLatency << "-cycle\n"
+       << "  Shared LLC            " << llcBanks << " banks x "
+       << (llcSets * llcWays * lineBytes / 1024) << " KiB, " << llcWays
+       << "-way, " << llcLatency << "-cycle\n"
+       << "  Directory             " << llcBanks << " banks x "
+       << dirEntriesPerBank << " entries, " << dirEvictBufferEntries
+       << "-entry eviction buffer\n"
+       << "  NoC                   " << meshCols << "x" << meshRows
+       << " mesh, " << hopLatency << "-cycle hops, "
+       << linkBytesPerCycle << " B/cycle links\n"
+       << "  NVM                   " << nvmRanks << " ranks, "
+       << nvmWriteLatency << "/" << nvmReadLatency
+       << "-cycle write/read\n"
+       << "  AGB                   "
+       << (agbUnbounded
+               ? std::string("unbounded (idealized)")
+               : std::to_string(agbSliceLines * lineBytes / 1024) +
+                     " KiB/channel (" + std::to_string(agbSliceLines) +
+                     " lines)")
+       << (agbDistributed ? ", distributed + arbiter" : ", centralized")
+       << "\n"
+       << "  Atomic group cap      " << agMaxLines << " cachelines\n"
+       << "  Eviction buffer       " << evictBufferEntries << " entries\n"
+       << "  Protocol / engine     " << toString(protocol) << " / "
+       << toString(engine) << "\n";
+}
+
+SystemConfig
+makeConfig(EngineKind engine)
+{
+    SystemConfig cfg;
+    cfg.engine = engine;
+    switch (engine) {
+      case EngineKind::Bsp:
+        cfg.protocol = ProtocolKind::Mesi;
+        break;
+      case EngineKind::BspSlcAgb:
+        cfg.protocol = ProtocolKind::Slc;
+        cfg.agbUnbounded = true;
+        break;
+      default:
+        cfg.protocol = ProtocolKind::Slc;
+        break;
+    }
+    return cfg;
+}
+
+} // namespace tsoper

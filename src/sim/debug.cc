@@ -1,0 +1,97 @@
+#include "sim/debug.hh"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+namespace tsoper::debug
+{
+
+namespace
+{
+
+constexpr auto numFlags = static_cast<unsigned>(Flag::NumFlags);
+
+std::array<bool, numFlags> flags_{};
+bool initialized_ = false;
+std::ostream *stream_ = nullptr;
+
+constexpr const char *names_[numFlags] = {
+    "slc", "mesi", "ag", "agb", "bsp", "hwrp", "cpu",
+};
+
+} // namespace
+
+const char *
+flagName(Flag flag)
+{
+    return names_[static_cast<unsigned>(flag)];
+}
+
+void
+setFlags(const std::string &csv)
+{
+    initialized_ = true;
+    flags_.fill(false);
+    std::size_t pos = 0;
+    while (pos <= csv.size() && !csv.empty()) {
+        const std::size_t comma = csv.find(',', pos);
+        const std::string tok =
+            csv.substr(pos, comma == std::string::npos ? std::string::npos
+                                                       : comma - pos);
+        if (tok == "all") {
+            flags_.fill(true);
+        } else if (!tok.empty()) {
+            bool known = false;
+            for (unsigned f = 0; f < numFlags; ++f) {
+                if (tok == names_[f]) {
+                    flags_[f] = true;
+                    known = true;
+                }
+            }
+            if (!known)
+                std::fprintf(stderr,
+                             "warn: unknown TSOPER_DEBUG flag '%s'\n",
+                             tok.c_str());
+        }
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+}
+
+void
+initFromEnv()
+{
+    if (initialized_)
+        return;
+    initialized_ = true;
+    if (const char *env = std::getenv("TSOPER_DEBUG"))
+        setFlags(env);
+}
+
+bool
+enabled(Flag flag)
+{
+    if (!initialized_)
+        initFromEnv();
+    return flags_[static_cast<unsigned>(flag)];
+}
+
+void
+setStream(std::ostream *os)
+{
+    stream_ = os;
+}
+
+void
+emit(Flag flag, Cycle when, const std::string &message)
+{
+    std::ostream &os = stream_ ? *stream_ : std::cerr;
+    os << "[" << std::setw(10) << when << "] " << flagName(flag) << ": "
+       << message << "\n";
+}
+
+} // namespace tsoper::debug

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Flag-gated debug tracing, in the spirit of gem5's DPRINTF.
+ *
+ * Enable at runtime with the TSOPER_DEBUG environment variable or
+ * programmatically:
+ *
+ *   TSOPER_DEBUG=slc,ag ./build/tools/tsoper_sim --bench=radix ...
+ *   tsoper::debug::setFlags("agb,cpu");
+ *
+ * Trace lines carry the cycle and the emitting component:
+ *
+ *   [     1234] slc: core 3 links as head of line 0x140000a
+ *
+ * The check is a single branch when tracing is off; trace calls build
+ * their message lazily.
+ */
+
+#ifndef TSOPER_SIM_DEBUG_HH
+#define TSOPER_SIM_DEBUG_HH
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace tsoper::debug
+{
+
+enum class Flag : unsigned
+{
+    Slc,  ///< Sharing-list protocol transactions and list surgery.
+    Mesi, ///< MESI protocol transactions.
+    Ag,   ///< Atomic-group lifecycle (TSOPER/STW engines).
+    Agb,  ///< AGB allocation / buffering / drain.
+    Bsp,  ///< BSP epoch lifecycle.
+    HwRp, ///< HW-RP SFR flushes.
+    Cpu,  ///< Core op retirement and sync.
+    NumFlags,
+};
+
+/** Is @p flag currently traced? */
+bool enabled(Flag flag);
+
+/** Enable exactly the comma-separated flags in @p csv ("slc,ag");
+ *  "all" enables everything, "" disables everything. */
+void setFlags(const std::string &csv);
+
+/** Initialize from the TSOPER_DEBUG environment variable (called once
+ *  automatically before the first trace check). */
+void initFromEnv();
+
+/** Redirect trace output (default: std::cerr). */
+void setStream(std::ostream *os);
+
+/** Emit one trace line; prefer the TSOPER_TRACE macro. */
+void emit(Flag flag, Cycle when, const std::string &message);
+
+/** Short name of @p flag ("slc", "ag", ...). */
+const char *flagName(Flag flag);
+
+} // namespace tsoper::debug
+
+/**
+ * Trace macro: evaluates its message expression only when the flag is
+ * enabled.  @p msg is a stream expression, e.g.
+ *   TSOPER_TRACE(Slc, eq_.now(), "core " << c << " links line " << l);
+ */
+#define TSOPER_TRACE(flag, when, msg)                                   \
+    do {                                                                \
+        if (::tsoper::debug::enabled(::tsoper::debug::Flag::flag)) {    \
+            std::ostringstream tsoper_trace_os_;                        \
+            tsoper_trace_os_ << msg;                                    \
+            ::tsoper::debug::emit(::tsoper::debug::Flag::flag, (when),  \
+                                  tsoper_trace_os_.str());              \
+        }                                                               \
+    } while (0)
+
+#endif // TSOPER_SIM_DEBUG_HH

@@ -1,0 +1,49 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/log.hh"
+
+namespace tsoper
+{
+
+void
+EventQueue::schedule(Cycle when, Callback fn)
+{
+    tsoper_assert(when >= now_, "scheduling into the past: when=", when,
+                  " now=", now_);
+    events_.push(Event{when, nextSeq_++, std::move(fn)});
+}
+
+bool
+EventQueue::runOne()
+{
+    if (events_.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast, which is
+    // safe because we pop immediately afterwards.
+    Event ev = std::move(const_cast<Event &>(events_.top()));
+    events_.pop();
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+    return true;
+}
+
+Cycle
+EventQueue::run(Cycle maxCycle)
+{
+    while (!events_.empty() && events_.top().when <= maxCycle)
+        runOne();
+    return now_;
+}
+
+Cycle
+EventQueue::runUntil(const std::function<bool()> &pred, Cycle maxCycle)
+{
+    while (!pred() && !events_.empty() && events_.top().when <= maxCycle)
+        runOne();
+    return now_;
+}
+
+} // namespace tsoper

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Global discrete-event kernel.
+ *
+ * Every timed activity in the simulator — core retirement, NoC message
+ * delivery, directory transaction execution, memory-controller service,
+ * AGB drain — is an event on one queue, ordered by (cycle, insertion
+ * sequence).  Ties are broken by insertion order, which makes the whole
+ * simulation deterministic.
+ */
+
+#ifndef TSOPER_SIM_EVENT_QUEUE_HH
+#define TSOPER_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tsoper
+{
+
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule @p fn to run at absolute cycle @p when (>= now()). */
+    void schedule(Cycle when, Callback fn);
+
+    /** Schedule @p fn to run @p delta cycles from now. */
+    void
+    scheduleIn(Cycle delta, Callback fn)
+    {
+        schedule(now_ + delta, std::move(fn));
+    }
+
+    /** Execute the next event, advancing time. @return false if empty. */
+    bool runOne();
+
+    /**
+     * Run until the queue drains or @p maxCycle is passed.
+     * @return the final simulated cycle.
+     */
+    Cycle run(Cycle maxCycle = maxCycle_);
+
+    /**
+     * Run until @p pred returns true (checked after each event), the
+     * queue drains, or @p maxCycle passes.
+     */
+    Cycle runUntil(const std::function<bool()> &pred,
+                   Cycle maxCycle = maxCycle_);
+
+    Cycle now() const { return now_; }
+
+    bool empty() const { return events_.empty(); }
+
+    std::size_t pending() const { return events_.size(); }
+
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    static constexpr Cycle maxCycle_ = maxCycle;
+
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        Callback fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    Cycle now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace tsoper
+
+#endif // TSOPER_SIM_EVENT_QUEUE_HH

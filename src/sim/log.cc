@@ -1,0 +1,33 @@
+#include "sim/log.hh"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace tsoper
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::string full = std::string("panic: ") + msg + " (" + file + ":" +
+                       std::to_string(line) + ")";
+    std::fprintf(stderr, "%s\n", full.c_str());
+    throw std::logic_error(full);
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::string full = std::string("fatal: ") + msg + " (" + file + ":" +
+                       std::to_string(line) + ")";
+    std::fprintf(stderr, "%s\n", full.c_str());
+    throw std::runtime_error(full);
+}
+
+void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+}
+
+} // namespace tsoper

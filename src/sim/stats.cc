@@ -1,0 +1,108 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <ostream>
+
+namespace tsoper
+{
+
+void
+Histogram::add(std::uint64_t value, std::uint64_t count)
+{
+    buckets_[value] += count;
+    if (samples_ == 0 || value < min_)
+        min_ = value;
+    max_ = std::max(max_, value);
+    samples_ += count;
+    total_ += value * count;
+}
+
+double
+Histogram::mean() const
+{
+    return samples_ ? static_cast<double>(total_) /
+                          static_cast<double>(samples_)
+                    : 0.0;
+}
+
+double
+Histogram::cumulativeAt(std::uint64_t v) const
+{
+    if (samples_ == 0)
+        return 0.0;
+    std::uint64_t below = 0;
+    for (const auto &[value, count] : buckets_) {
+        if (value > v)
+            break;
+        below += count;
+    }
+    return static_cast<double>(below) / static_cast<double>(samples_);
+}
+
+std::uint64_t
+Histogram::percentile(double q) const
+{
+    if (samples_ == 0)
+        return 0;
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(samples_) + 0.5);
+    std::uint64_t seen = 0;
+    for (const auto &[value, count] : buckets_) {
+        seen += count;
+        if (seen >= target)
+            return value;
+    }
+    return max_;
+}
+
+void
+Histogram::reset()
+{
+    buckets_.clear();
+    samples_ = total_ = min_ = max_ = 0;
+}
+
+Counter &
+StatsRegistry::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+Histogram &
+StatsRegistry::histogram(const std::string &name)
+{
+    return histograms_[name];
+}
+
+TimeSeries &
+StatsRegistry::timeSeries(const std::string &name)
+{
+    return series_[name];
+}
+
+std::uint64_t
+StatsRegistry::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+bool
+StatsRegistry::hasHistogram(const std::string &name) const
+{
+    return histograms_.count(name) != 0;
+}
+
+void
+StatsRegistry::dump(std::ostream &os) const
+{
+    for (const auto &[name, c] : counters_)
+        os << name << " " << c.value() << "\n";
+    for (const auto &[name, h] : histograms_) {
+        os << name << ".samples " << h.samples() << "\n";
+        os << name << ".mean " << h.mean() << "\n";
+        os << name << ".max " << h.max() << "\n";
+    }
+}
+
+} // namespace tsoper

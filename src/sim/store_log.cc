@@ -1,0 +1,98 @@
+#include "sim/store_log.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace tsoper
+{
+
+const std::vector<StoreId> StoreLog::emptyChain_;
+
+StoreLog::StoreLog(unsigned numCores)
+    : perCoreStores_(numCores, 0), perCoreSfr_(numCores, 0),
+      pendingRf_(numCores)
+{
+}
+
+void
+StoreLog::loadObserved(CoreId core, Addr addr, StoreId value)
+{
+    (void)addr;
+    if (!enabled_ || value == invalidStore)
+        return;
+    // Only remote stores create cross-thread persist dependencies;
+    // own-store observation is already covered by program order.
+    if (storeCore(value) == core)
+        return;
+    auto &pending = pendingRf_[static_cast<unsigned>(core)];
+    if (std::find(pending.begin(), pending.end(), value) == pending.end())
+        pending.push_back(value);
+}
+
+void
+StoreLog::storeIssued(CoreId core, StoreId id)
+{
+    if (!enabled_)
+        return;
+    const auto c = static_cast<unsigned>(core);
+    auto &pending = pendingRf_[c];
+    if (!pending.empty()) {
+        staged_[id] = std::move(pending);
+        pending.clear();
+    }
+}
+
+void
+StoreLog::storeCommitted(CoreId core, Addr addr, StoreId id)
+{
+    if (!enabled_)
+        return;
+    const auto c = static_cast<unsigned>(core);
+    tsoper_assert(storeSeq(id) == perCoreStores_[c],
+                  "store ids must be committed in program order");
+    ++perCoreStores_[c];
+    ++total_;
+    Record rec;
+    rec.id = id;
+    rec.addr = addr;
+    rec.sfrIndex = perCoreSfr_[c];
+    auto &chain = chains_[wordAddr(addr)];
+    rec.wordChainIndex = static_cast<std::uint32_t>(chain.size());
+    chain.push_back(id);
+    if (auto it = staged_.find(id); it != staged_.end()) {
+        rec.rfPreds = std::move(it->second);
+        staged_.erase(it);
+    }
+    records_.emplace(id, std::move(rec));
+}
+
+void
+StoreLog::sfrBoundary(CoreId core)
+{
+    if (!enabled_)
+        return;
+    ++perCoreSfr_[static_cast<unsigned>(core)];
+}
+
+const StoreLog::Record *
+StoreLog::find(StoreId id) const
+{
+    auto it = records_.find(id);
+    return it == records_.end() ? nullptr : &it->second;
+}
+
+const std::vector<StoreId> &
+StoreLog::wordChain(Addr addr) const
+{
+    auto it = chains_.find(wordAddr(addr));
+    return it == chains_.end() ? emptyChain_ : it->second;
+}
+
+std::uint64_t
+StoreLog::storesOf(CoreId core) const
+{
+    return perCoreStores_[static_cast<unsigned>(core)];
+}
+
+} // namespace tsoper

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Execution recording for crash-consistency checking.
+ *
+ * The log captures, at coherence-serialization order, everything the
+ * TSO-cut checker needs:
+ *   - per-core program order of stores (implicit in StoreId sequence);
+ *   - per-word coherence order (the chain of stores to each word);
+ *   - reads-from dependencies: if a store is program-ordered after a
+ *     load that observed a remote store, the observed store must
+ *     persist before it under strict persistency;
+ *   - per-core SFR indices (for checking HW-RP's relaxed model).
+ *
+ * Recording is optional (SystemConfig::recordStores); benches run with
+ * it off.
+ */
+
+#ifndef TSOPER_SIM_STORE_LOG_HH
+#define TSOPER_SIM_STORE_LOG_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tsoper
+{
+
+class StoreLog
+{
+  public:
+    struct Record
+    {
+        StoreId id = invalidStore;
+        Addr addr = 0;
+        std::uint32_t wordChainIndex = 0; ///< Position in the word chain.
+        std::uint32_t sfrIndex = 0;       ///< Core's SFR at commit time.
+        /** Remote stores observed by loads program-ordered before this
+         *  store (reads-from predecessors). */
+        std::vector<StoreId> rfPreds;
+    };
+
+    explicit StoreLog(unsigned numCores);
+
+    bool enabled() const { return enabled_; }
+    void setEnabled(bool on) { enabled_ = on; }
+
+    /**
+     * A load by @p core observed @p value (invalidStore = untouched).
+     * Called by the core at load completion; the observed stores become
+     * reads-from predecessors of the core's next issued store.
+     */
+    void loadObserved(CoreId core, Addr addr, StoreId value);
+
+    /**
+     * Store @p id entered @p core's store buffer (the program-order
+     * point): pending observed stores attach to it here.
+     */
+    void storeIssued(CoreId core, StoreId id);
+
+    /** A store committed at the coherence-serialization instant. */
+    void storeCommitted(CoreId core, Addr addr, StoreId id);
+
+    /** @p core crossed an SFR boundary (sync operation). */
+    void sfrBoundary(CoreId core);
+
+    // --- Checker access ------------------------------------------------
+
+    const Record *find(StoreId id) const;
+
+    /** Total order of stores to the word containing @p addr. */
+    const std::vector<StoreId> &wordChain(Addr addr) const;
+
+    /** Per-core store count (program-order sequence length). */
+    std::uint64_t storesOf(CoreId core) const;
+
+    std::uint64_t totalStores() const { return total_; }
+
+  private:
+    static Addr wordAddr(Addr a) { return a >> wordShift; }
+
+    bool enabled_ = true;
+    std::uint64_t total_ = 0;
+    std::unordered_map<StoreId, Record> records_;
+    std::unordered_map<Addr, std::vector<StoreId>> chains_;
+    std::vector<std::uint64_t> perCoreStores_;
+    std::vector<std::uint32_t> perCoreSfr_;
+    /** Stores observed by loads since each core's last issued store. */
+    std::vector<std::vector<StoreId>> pendingRf_;
+    /** rf predecessors staged at issue, consumed at commit. */
+    std::unordered_map<StoreId, std::vector<StoreId>> staged_;
+    static const std::vector<StoreId> emptyChain_;
+};
+
+} // namespace tsoper
+
+#endif // TSOPER_SIM_STORE_LOG_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fundamental types shared by every module of the TSOPER simulator.
+ */
+
+#ifndef TSOPER_SIM_TYPES_HH
+#define TSOPER_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace tsoper
+{
+
+/** Simulated time, measured in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** A byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/**
+ * A cacheline address: a byte address with the block offset stripped
+ * (addr >> lineShift).
+ */
+using LineAddr = std::uint64_t;
+
+/** Identifies a core (and its private cache). */
+using CoreId = int;
+
+/** Identifies an atomic group within one core; see core/atomic_group.hh. */
+using AgId = std::uint64_t;
+
+/**
+ * Identifies one dynamic store instruction uniquely across the whole
+ * simulation: (core << 48) | per-core sequence number.
+ */
+using StoreId = std::uint64_t;
+
+constexpr CoreId invalidCore = -1;
+
+/** Sentinel for "word never written"; distinct from every real id
+ *  (makeStoreId(0, 0) is 0, so 0 must remain a valid id). */
+constexpr StoreId invalidStore = ~0ull;
+
+/** Cacheline geometry: 64-byte lines, as in the paper's Table I. */
+constexpr unsigned lineShift = 6;
+constexpr unsigned lineBytes = 1u << lineShift;
+
+/** Word granularity used for store value tracking (8 bytes). */
+constexpr unsigned wordShift = 3;
+constexpr unsigned wordBytes = 1u << wordShift;
+constexpr unsigned wordsPerLine = lineBytes / wordBytes;
+
+constexpr Cycle maxCycle = std::numeric_limits<Cycle>::max();
+
+/** Strip the block offset from a byte address. */
+constexpr LineAddr
+lineOf(Addr a)
+{
+    return a >> lineShift;
+}
+
+/** First byte address covered by a cacheline address. */
+constexpr Addr
+addrOfLine(LineAddr l)
+{
+    return l << lineShift;
+}
+
+/** Index of the 8-byte word @p a refers to within its cacheline. */
+constexpr unsigned
+wordOf(Addr a)
+{
+    return static_cast<unsigned>((a >> wordShift) & (wordsPerLine - 1));
+}
+
+/** Compose a globally unique store identifier. */
+constexpr StoreId
+makeStoreId(CoreId core, std::uint64_t seq)
+{
+    return (static_cast<StoreId>(core) << 48) | (seq & 0xffffffffffffull);
+}
+
+/** Core that issued store @p id. */
+constexpr CoreId
+storeCore(StoreId id)
+{
+    return static_cast<CoreId>(id >> 48);
+}
+
+/** Per-core sequence number of store @p id. */
+constexpr std::uint64_t
+storeSeq(StoreId id)
+{
+    return id & 0xffffffffffffull;
+}
+
+} // namespace tsoper
+
+#endif // TSOPER_SIM_TYPES_HH

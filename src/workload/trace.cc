@@ -1,0 +1,69 @@
+#include "workload/trace.hh"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace tsoper
+{
+
+bool
+validateWorkload(const Workload &w, std::string *error)
+{
+    auto fail = [error](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+    std::map<unsigned, std::vector<std::size_t>> barrierArrivals;
+    for (std::size_t c = 0; c < w.perCore.size(); ++c) {
+        std::set<unsigned> held;
+        std::map<unsigned, std::size_t> arrivals;
+        for (const TraceOp &op : w.perCore[c]) {
+            switch (op.type) {
+              case OpType::LockAcq:
+                if (held.count(op.arg)) {
+                    std::ostringstream os;
+                    os << "core " << c << " re-acquires held lock "
+                       << op.arg;
+                    return fail(os.str());
+                }
+                held.insert(op.arg);
+                break;
+              case OpType::LockRel:
+                if (!held.count(op.arg)) {
+                    std::ostringstream os;
+                    os << "core " << c << " releases unheld lock "
+                       << op.arg;
+                    return fail(os.str());
+                }
+                held.erase(op.arg);
+                break;
+              case OpType::Barrier:
+                if (!held.empty())
+                    return fail("barrier reached with a lock held");
+                ++arrivals[op.arg];
+                break;
+              default:
+                break;
+            }
+        }
+        if (!held.empty())
+            return fail("trace ends with a lock held");
+        for (const auto &[b, n] : arrivals)
+            barrierArrivals[b].push_back(n);
+    }
+    for (const auto &[b, counts] : barrierArrivals) {
+        for (std::size_t n : counts) {
+            if (counts.size() != w.perCore.size() || n != counts.front()) {
+                std::ostringstream os;
+                os << "barrier " << b
+                   << " has mismatched participation across cores";
+                return fail(os.str());
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace tsoper

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Workload trace representation.
+ *
+ * The paper drives its simulator with a Sniper front-end running
+ * PARSEC 3.0 / Splash-3 regions of interest; we replace that with
+ * pre-generated, deterministic per-core operation traces whose shapes
+ * are parameterized per benchmark (DESIGN.md §1).  A trace op is one
+ * of: a memory access, an amount of local compute, a synchronization
+ * operation (lock acquire/release, barrier), or a marker store
+ * controlling AG boundaries (§II-D).
+ */
+
+#ifndef TSOPER_WORKLOAD_TRACE_HH
+#define TSOPER_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tsoper
+{
+
+enum class OpType : std::uint8_t
+{
+    Load,    ///< Read the word at addr.
+    Store,   ///< Write the word at addr.
+    Compute, ///< Spend arg cycles of local work.
+    LockAcq, ///< Acquire lock #arg (RMW on the lock's line).
+    LockRel, ///< Release lock #arg (store to the lock's line).
+    Barrier, ///< Arrive at barrier #arg; proceed when all cores have.
+    Marker,  ///< Software epoch marker: freeze the current AG (§II-D).
+};
+
+struct TraceOp
+{
+    OpType type;
+    Addr addr = 0;
+    std::uint32_t arg = 0;
+};
+
+using Trace = std::vector<TraceOp>;
+
+/** One multi-threaded workload: a trace per core plus sync metadata. */
+struct Workload
+{
+    std::string name;
+    std::vector<Trace> perCore;
+    unsigned numLocks = 0;
+    unsigned numBarriers = 0;
+
+    std::size_t
+    totalOps() const
+    {
+        std::size_t n = 0;
+        for (const auto &t : perCore)
+            n += t.size();
+        return n;
+    }
+
+    std::size_t
+    totalStores() const
+    {
+        std::size_t n = 0;
+        for (const auto &t : perCore)
+            for (const auto &op : t)
+                if (op.type == OpType::Store)
+                    ++n;
+        return n;
+    }
+};
+
+/**
+ * Structural sanity check: locks acquired/released in matched pairs
+ * with no nesting of the same lock, barrier ids within range, every
+ * core participating in every barrier the same number of times.
+ * @return true if well-formed; otherwise false with @p error set.
+ */
+bool validateWorkload(const Workload &w, std::string *error);
+
+/** Address-space layout shared by generators and the sync model. */
+namespace layout
+{
+constexpr Addr privateBase = 0x1000'0000;
+constexpr Addr privateSpan = 0x0400'0000; ///< Per-core private region.
+constexpr Addr sharedBase = 0x5000'0000;
+constexpr Addr lockBase = 0x9000'0000;
+constexpr Addr barrierBase = 0xA000'0000;
+
+inline Addr
+privateAddr(CoreId core, std::uint64_t wordIndex)
+{
+    return privateBase + static_cast<Addr>(core) * privateSpan +
+           wordIndex * wordBytes;
+}
+
+inline Addr
+sharedAddr(std::uint64_t wordIndex)
+{
+    return sharedBase + wordIndex * wordBytes;
+}
+
+inline Addr
+lockAddr(unsigned lock)
+{
+    return lockBase + static_cast<Addr>(lock) * lineBytes;
+}
+
+inline Addr
+barrierAddr(unsigned barrier)
+{
+    return barrierBase + static_cast<Addr>(barrier) * lineBytes;
+}
+} // namespace layout
+
+} // namespace tsoper
+
+#endif // TSOPER_WORKLOAD_TRACE_HH

@@ -1,0 +1,158 @@
+#include "workload/trace_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace tsoper
+{
+
+void
+saveWorkload(const Workload &w, std::ostream &os)
+{
+    os << "# tsoper trace v1\n";
+    os << "workload " << (w.name.empty() ? "unnamed" : w.name)
+       << " cores=" << w.perCore.size() << " locks=" << w.numLocks
+       << " barriers=" << w.numBarriers << "\n";
+    for (std::size_t c = 0; c < w.perCore.size(); ++c) {
+        os << "core " << c << "\n";
+        for (const TraceOp &op : w.perCore[c]) {
+            switch (op.type) {
+              case OpType::Load:
+                os << "L " << std::hex << op.addr << std::dec << "\n";
+                break;
+              case OpType::Store:
+                os << "S " << std::hex << op.addr << std::dec << "\n";
+                break;
+              case OpType::Compute:
+                os << "C " << op.arg << "\n";
+                break;
+              case OpType::LockAcq:
+                os << "A " << op.arg << "\n";
+                break;
+              case OpType::LockRel:
+                os << "R " << op.arg << "\n";
+                break;
+              case OpType::Barrier:
+                os << "B " << op.arg << "\n";
+                break;
+              case OpType::Marker:
+                os << "M\n";
+                break;
+            }
+        }
+    }
+}
+
+void
+saveWorkloadFile(const Workload &w, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        tsoper_fatal("cannot open trace file for writing: ", path);
+    saveWorkload(w, os);
+    if (!os)
+        tsoper_fatal("I/O error writing trace file: ", path);
+}
+
+Workload
+loadWorkload(std::istream &is)
+{
+    Workload w;
+    bool haveHeader = false;
+    Trace *current = nullptr;
+    std::string line;
+    std::size_t lineNo = 0;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string tok;
+        ls >> tok;
+        if (tok == "workload") {
+            std::string name;
+            ls >> name;
+            w.name = name;
+            std::string kv;
+            unsigned cores = 0;
+            while (ls >> kv) {
+                const auto eq = kv.find('=');
+                if (eq == std::string::npos)
+                    tsoper_fatal("trace line ", lineNo,
+                                 ": malformed key=value: ", kv);
+                const std::string key = kv.substr(0, eq);
+                const unsigned value =
+                    static_cast<unsigned>(std::stoul(kv.substr(eq + 1)));
+                if (key == "cores")
+                    cores = value;
+                else if (key == "locks")
+                    w.numLocks = value;
+                else if (key == "barriers")
+                    w.numBarriers = value;
+                else
+                    tsoper_fatal("trace line ", lineNo,
+                                 ": unknown key: ", key);
+            }
+            if (cores == 0 || cores > 64)
+                tsoper_fatal("trace line ", lineNo,
+                             ": bad core count ", cores);
+            w.perCore.resize(cores);
+            haveHeader = true;
+        } else if (tok == "core") {
+            if (!haveHeader)
+                tsoper_fatal("trace line ", lineNo,
+                             ": 'core' before 'workload' header");
+            std::size_t idx = 0;
+            ls >> idx;
+            if (idx >= w.perCore.size())
+                tsoper_fatal("trace line ", lineNo,
+                             ": core index ", idx, " out of range");
+            current = &w.perCore[idx];
+        } else {
+            if (!current)
+                tsoper_fatal("trace line ", lineNo,
+                             ": op before any 'core' directive");
+            TraceOp op{};
+            if (tok == "L" || tok == "S") {
+                op.type = tok == "L" ? OpType::Load : OpType::Store;
+                ls >> std::hex >> op.addr >> std::dec;
+            } else if (tok == "C") {
+                op.type = OpType::Compute;
+                ls >> op.arg;
+            } else if (tok == "A" || tok == "R") {
+                op.type = tok == "A" ? OpType::LockAcq : OpType::LockRel;
+                ls >> op.arg;
+                op.addr = layout::lockAddr(op.arg);
+            } else if (tok == "B") {
+                op.type = OpType::Barrier;
+                ls >> op.arg;
+                op.addr = layout::barrierAddr(op.arg);
+            } else if (tok == "M") {
+                op.type = OpType::Marker;
+            } else {
+                tsoper_fatal("trace line ", lineNo,
+                             ": unknown directive '", tok, "'");
+            }
+            if (ls.fail())
+                tsoper_fatal("trace line ", lineNo,
+                             ": malformed operand in '", line, "'");
+            current->push_back(op);
+        }
+    }
+    if (!haveHeader)
+        tsoper_fatal("trace stream has no 'workload' header");
+    return w;
+}
+
+Workload
+loadWorkloadFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        tsoper_fatal("cannot open trace file: ", path);
+    return loadWorkload(is);
+}
+
+} // namespace tsoper

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Workload trace serialization: a line-oriented text format so
+ * externally produced traces (e.g. from a Pin/Sniper-style frontend)
+ * can drive the simulator, and generated workloads can be archived.
+ *
+ * Format:
+ *   # comments and blank lines ignored
+ *   workload <name> cores=<n> locks=<n> barriers=<n>
+ *   core <index>
+ *   L <addr-hex>       load
+ *   S <addr-hex>       store
+ *   C <cycles>         compute
+ *   A <lock-id>        lock acquire
+ *   R <lock-id>        lock release
+ *   B <barrier-id>     barrier
+ *   M                  marker (§II-D AG boundary)
+ */
+
+#ifndef TSOPER_WORKLOAD_TRACE_IO_HH
+#define TSOPER_WORKLOAD_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/trace.hh"
+
+namespace tsoper
+{
+
+/** Serialize @p w to @p os in the text format above. */
+void saveWorkload(const Workload &w, std::ostream &os);
+
+/** Save to a file; fatal on I/O failure. */
+void saveWorkloadFile(const Workload &w, const std::string &path);
+
+/**
+ * Parse a workload; fatal on malformed input (unknown directive,
+ * missing header, out-of-range core index).
+ */
+Workload loadWorkload(std::istream &is);
+
+Workload loadWorkloadFile(const std::string &path);
+
+} // namespace tsoper
+
+#endif // TSOPER_WORKLOAD_TRACE_IO_HH

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Unit tests for the Atomic Group Buffer: two-phase allocation, FIFO
+ * grants, capacity backpressure, super-group draining, same-address
+ * FIFO to NVM, and crash semantics (committed-prefix durability).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/agb.hh"
+#include "mem/llc.hh"
+#include "mem/nvm.hh"
+#include "noc/mesh.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+using namespace tsoper;
+
+namespace
+{
+
+struct AgbFixture : public ::testing::Test
+{
+    AgbFixture() { rebuild(); }
+
+    void
+    rebuild()
+    {
+        mesh = std::make_unique<Mesh>(cfg, stats);
+        nvm = std::make_unique<Nvm>(cfg, eq, stats);
+        llc = std::make_unique<Llc>(cfg, *nvm, stats);
+        agb = std::make_unique<Agb>(cfg, eq, *mesh, *nvm, *llc, stats);
+    }
+
+    LineWords
+    wordsFor(StoreId id)
+    {
+        LineWords w = zeroLine();
+        w[0] = id;
+        return w;
+    }
+
+    SystemConfig cfg;
+    EventQueue eq;
+    StatsRegistry stats;
+    std::unique_ptr<Mesh> mesh;
+    std::unique_ptr<Nvm> nvm;
+    std::unique_ptr<Llc> llc;
+    std::unique_ptr<Agb> agb;
+};
+
+} // namespace
+
+TEST_F(AgbFixture, GrantAndBufferAndDrain)
+{
+    bool granted = false;
+    const auto h = agb->requestAllocation(0, {8, 9}, [&](Cycle) {
+        granted = true;
+    });
+    eq.runUntil([&] { return granted; });
+    bool buffered = false;
+    agb->bufferLine(h, 8, wordsFor(makeStoreId(0, 0)),
+                    [&](Cycle) { buffered = true; });
+    agb->bufferLine(h, 9, wordsFor(makeStoreId(0, 1)), {});
+    eq.run();
+    EXPECT_TRUE(buffered);
+    EXPECT_TRUE(agb->quiescent());
+    EXPECT_EQ(nvm->durable(8)[0], makeStoreId(0, 0));
+    EXPECT_EQ(nvm->durable(9)[0], makeStoreId(0, 1));
+}
+
+TEST_F(AgbFixture, EmptyAgCompletesImmediately)
+{
+    bool granted = false;
+    agb->requestAllocation(0, {}, [&](Cycle) { granted = true; });
+    eq.run();
+    EXPECT_TRUE(granted);
+    EXPECT_TRUE(agb->quiescent());
+}
+
+TEST_F(AgbFixture, GrantsAreFifoEvenWhenLaterFits)
+{
+    // Fill slice 0 nearly full, then queue a big AG (doesn't fit) and a
+    // small one (would fit): the small one must wait behind the big one.
+    cfg.agbSliceLines = 4;
+    rebuild();
+    std::vector<LineAddr> big = {0, 8, 16, 24};   // 4 lines, slice 0.
+    std::vector<LineAddr> more = {32, 40, 48};    // 3 lines, slice 0.
+    std::vector<LineAddr> tiny = {56};            // 1 line, slice 0.
+    bool g1 = false, g2 = false, g3 = false;
+    const auto h1 = agb->requestAllocation(0, big, [&](Cycle) {
+        g1 = true;
+    });
+    agb->requestAllocation(1, more, [&](Cycle) { g2 = true; });
+    agb->requestAllocation(2, tiny, [&](Cycle) { g3 = true; });
+    eq.run();
+    EXPECT_TRUE(g1);
+    EXPECT_FALSE(g2); // Blocked on capacity.
+    EXPECT_FALSE(g3); // FIFO: must not overtake.
+    // Drain the first AG; space frees, both grants follow in order.
+    for (LineAddr l : big)
+        agb->bufferLine(h1, l, zeroLine(), {});
+    eq.run();
+    EXPECT_TRUE(g2);
+    EXPECT_TRUE(g3);
+}
+
+TEST_F(AgbFixture, OversizedAgIsFatal)
+{
+    cfg.agbSliceLines = 2;
+    rebuild();
+    EXPECT_THROW(
+        agb->requestAllocation(0, {0, 8, 16}, [](Cycle) {}),
+        std::logic_error);
+}
+
+TEST_F(AgbFixture, UnboundedModeGrantsAnything)
+{
+    cfg.agbSliceLines = 1;
+    cfg.agbUnbounded = true;
+    rebuild();
+    std::vector<LineAddr> lines;
+    for (LineAddr l = 0; l < 64; ++l)
+        lines.push_back(l * 8); // All slice 0.
+    bool granted = false;
+    agb->requestAllocation(0, lines, [&](Cycle) { granted = true; });
+    eq.run();
+    EXPECT_TRUE(granted);
+}
+
+TEST_F(AgbFixture, IncompleteAgIsNotDurableAtCrash)
+{
+    bool granted = false;
+    const auto h = agb->requestAllocation(0, {8, 9}, [&](Cycle) {
+        granted = true;
+    });
+    eq.runUntil([&] { return granted; });
+    agb->bufferLine(h, 8, wordsFor(makeStoreId(0, 0)), {});
+    eq.run(); // Line 8 buffered, line 9 never sent: AG incomplete.
+    EXPECT_FALSE(agb->quiescent());
+    EXPECT_TRUE(agb->crashOverlay().empty());
+    EXPECT_EQ(nvm->durable(8)[0], invalidStore);
+}
+
+TEST_F(AgbFixture, CompletePrefixRule)
+{
+    // AG1 incomplete, AG2 complete behind it: neither is durable.
+    bool g1 = false, g2 = false;
+    const auto h1 = agb->requestAllocation(0, {8, 16}, [&](Cycle) {
+        g1 = true;
+    });
+    const auto h2 = agb->requestAllocation(1, {24}, [&](Cycle) {
+        g2 = true;
+    });
+    eq.runUntil([&] { return g1 && g2; });
+    agb->bufferLine(h2, 24, wordsFor(makeStoreId(1, 0)), {});
+    agb->bufferLine(h1, 8, wordsFor(makeStoreId(0, 0)), {});
+    eq.run();
+    // AG2 complete but behind incomplete AG1: super-group rule blocks it.
+    EXPECT_TRUE(agb->crashOverlay().empty());
+    EXPECT_EQ(nvm->durable(24)[0], invalidStore);
+    // Completing AG1 releases both.
+    agb->bufferLine(h1, 16, wordsFor(makeStoreId(0, 1)), {});
+    eq.run();
+    EXPECT_EQ(nvm->durable(24)[0], makeStoreId(1, 0));
+    EXPECT_EQ(nvm->durable(8)[0], makeStoreId(0, 0));
+}
+
+TEST_F(AgbFixture, CrashOverlayCoversCommittedButUndrained)
+{
+    bool granted = false;
+    const auto h = agb->requestAllocation(0, {8}, [&](Cycle) {
+        granted = true;
+    });
+    eq.runUntil([&] { return granted; });
+    Cycle bufferedAt = 0;
+    agb->bufferLine(h, 8, wordsFor(makeStoreId(0, 0)),
+                    [&](Cycle at) { bufferedAt = at; });
+    eq.runUntil([&] { return bufferedAt != 0; });
+    // Crash after buffering but before the NVM write completes.
+    EXPECT_EQ(nvm->durable(8)[0], invalidStore);
+    const auto overlay = agb->crashOverlay();
+    ASSERT_EQ(overlay.size(), 1u);
+    EXPECT_EQ(overlay[0].first, 8u);
+    EXPECT_EQ(overlay[0].second[0], makeStoreId(0, 0));
+}
+
+TEST_F(AgbFixture, SameAddressVersionsDrainInAllocationOrder)
+{
+    bool g1 = false, g2 = false;
+    const auto h1 = agb->requestAllocation(0, {8}, [&](Cycle) {
+        g1 = true;
+    });
+    const auto h2 = agb->requestAllocation(1, {8}, [&](Cycle) {
+        g2 = true;
+    });
+    eq.runUntil([&] { return g1 && g2; });
+    // Buffer the *younger* version first; NVM must still end newest.
+    agb->bufferLine(h2, 8, wordsFor(makeStoreId(1, 0)), {});
+    agb->bufferLine(h1, 8, wordsFor(makeStoreId(0, 0)), {});
+    eq.run();
+    EXPECT_EQ(nvm->durable(8)[0], makeStoreId(1, 0));
+}
+
+TEST_F(AgbFixture, DoubleBufferPanics)
+{
+    bool granted = false;
+    const auto h = agb->requestAllocation(0, {8}, [&](Cycle) {
+        granted = true;
+    });
+    eq.runUntil([&] { return granted; });
+    agb->bufferLine(h, 8, zeroLine(), {});
+    EXPECT_THROW(agb->bufferLine(h, 8, zeroLine(), {}),
+                 std::logic_error);
+}
+
+TEST_F(AgbFixture, CentralizedOrganizationWorks)
+{
+    cfg.agbDistributed = false;
+    rebuild();
+    EXPECT_EQ(agb->sliceCount(), 1u);
+    bool granted = false;
+    const auto h = agb->requestAllocation(0, {8, 9, 10}, [&](Cycle) {
+        granted = true;
+    });
+    eq.runUntil([&] { return granted; });
+    for (LineAddr l : {8, 9, 10})
+        agb->bufferLine(h, static_cast<LineAddr>(l),
+                        wordsFor(makeStoreId(0, l)), {});
+    eq.run();
+    EXPECT_TRUE(agb->quiescent());
+    EXPECT_EQ(nvm->durable(10)[0], makeStoreId(0, 10));
+}
+
+TEST_F(AgbFixture, NotifyQuiescentFires)
+{
+    bool fired = false;
+    agb->notifyQuiescent([&] { fired = true; });
+    eq.run();
+    EXPECT_TRUE(fired); // Already quiescent.
+    bool granted = false;
+    const auto h = agb->requestAllocation(0, {8}, [&](Cycle) {
+        granted = true;
+    });
+    eq.runUntil([&] { return granted; });
+    bool fired2 = false;
+    agb->notifyQuiescent([&] { fired2 = true; });
+    agb->bufferLine(h, 8, zeroLine(), {});
+    eq.run();
+    EXPECT_TRUE(fired2);
+}

@@ -1,0 +1,138 @@
+/** @file Unit tests for per-core atomic-group bookkeeping. */
+
+#include <gtest/gtest.h>
+
+#include "core/atomic_group.hh"
+#include "sim/stats.hh"
+
+using namespace tsoper;
+
+namespace
+{
+
+struct AgFixture : public ::testing::Test
+{
+    StatsRegistry stats;
+    AgManager mgr{0, /*maxLines=*/4, stats.histogram("size"),
+                  stats.histogram("dirty")};
+};
+
+} // namespace
+
+TEST_F(AgFixture, StoresAccumulateInOpenGroup)
+{
+    EXPECT_FALSE(mgr.addDirty(1, true));
+    EXPECT_FALSE(mgr.addDirty(2, true));
+    AtomicGroup *ag = mgr.oldest();
+    ASSERT_NE(ag, nullptr);
+    EXPECT_FALSE(ag->frozen);
+    EXPECT_EQ(ag->size(), 2u);
+    EXPECT_EQ(ag->dirtyCount(), 2u);
+    EXPECT_EQ(ag->unbuffered, 2u);
+}
+
+TEST_F(AgFixture, DuplicateStoreDoesNotGrow)
+{
+    mgr.addDirty(1, true);
+    mgr.addDirty(1, true);
+    EXPECT_EQ(mgr.oldest()->size(), 1u);
+    EXPECT_EQ(mgr.oldest()->unbuffered, 1u);
+}
+
+TEST_F(AgFixture, CleanMemberUpgradesToDirty)
+{
+    mgr.addClean(9, true);
+    EXPECT_EQ(mgr.oldest()->dirtyCount(), 0u);
+    mgr.addDirty(9, true);
+    EXPECT_EQ(mgr.oldest()->size(), 1u);
+    EXPECT_EQ(mgr.oldest()->dirtyCount(), 1u);
+    EXPECT_EQ(mgr.oldest()->unbuffered, 1u);
+}
+
+TEST_F(AgFixture, SizeCapFreezes)
+{
+    mgr.addDirty(1, true);
+    mgr.addDirty(2, true);
+    mgr.addDirty(3, true);
+    EXPECT_TRUE(mgr.addDirty(4, true)); // 4th line hits the cap.
+    EXPECT_TRUE(mgr.oldest()->frozen);
+    EXPECT_EQ(mgr.oldest()->freezeReason, FreezeReason::SizeCap);
+    EXPECT_EQ(stats.histogram("size").samples(), 1u);
+}
+
+TEST_F(AgFixture, NewGroupOpensAfterFreeze)
+{
+    mgr.addDirty(1, true);
+    mgr.freezeOpen(FreezeReason::RemoteWrite);
+    mgr.addDirty(2, true);
+    EXPECT_EQ(mgr.queue().size(), 2u);
+    EXPECT_TRUE(mgr.queue().front()->frozen);
+    EXPECT_FALSE(mgr.queue().back()->frozen);
+    EXPECT_TRUE(mgr.inFrozenGroup(1));
+    EXPECT_FALSE(mgr.inFrozenGroup(2));
+}
+
+TEST_F(AgFixture, WaitingTailBlocksReadiness)
+{
+    mgr.addDirty(1, /*isTail=*/false);
+    mgr.freezeOpen(FreezeReason::RemoteRead);
+    EXPECT_FALSE(mgr.oldest()->readyToPersist());
+    mgr.becameTail(1);
+    EXPECT_TRUE(mgr.oldest()->readyToPersist());
+}
+
+TEST_F(AgFixture, FreezeOpenOnEmptyManagerIsNull)
+{
+    EXPECT_EQ(mgr.freezeOpen(FreezeReason::Marker), nullptr);
+}
+
+TEST_F(AgFixture, RetireReturnsCleanMembers)
+{
+    mgr.addDirty(1, true);
+    mgr.addClean(2, true);
+    mgr.freezeOpen(FreezeReason::RemoteWrite);
+    AtomicGroup *ag = mgr.oldest();
+    ag->unbuffered = 0; // Simulate buffering done.
+    ag->granted = true;
+    const auto clean = mgr.retireOldest();
+    ASSERT_EQ(clean.size(), 1u);
+    EXPECT_EQ(clean[0], 2u);
+    EXPECT_TRUE(mgr.empty());
+    EXPECT_FALSE(mgr.isMember(1));
+    EXPECT_FALSE(mgr.isMember(2));
+}
+
+TEST_F(AgFixture, ReleaseBufferedLineEndsMembershipEarly)
+{
+    mgr.addDirty(1, true);
+    mgr.freezeOpen(FreezeReason::Eviction);
+    AtomicGroup *ag = mgr.oldest();
+    EXPECT_TRUE(mgr.inFrozenGroup(1));
+    mgr.releaseBufferedLine(*ag, 1);
+    EXPECT_FALSE(mgr.inFrozenGroup(1));
+    // A new store to the line lands in a fresh open AG.
+    mgr.addDirty(1, true);
+    EXPECT_EQ(mgr.queue().size(), 2u);
+    // Retiring the old AG must not clobber the new membership.
+    ag->unbuffered = 0;
+    ag->granted = true;
+    mgr.retireOldest();
+    EXPECT_TRUE(mgr.isMember(1));
+}
+
+TEST_F(AgFixture, GroupIdsAreMonotone)
+{
+    mgr.addDirty(1, true);
+    mgr.freezeOpen(FreezeReason::Marker);
+    mgr.addDirty(2, true);
+    EXPECT_LT(mgr.queue().front()->id, mgr.queue().back()->id);
+}
+
+TEST_F(AgFixture, DirtyReconcilesWaitingState)
+{
+    mgr.addClean(5, true); // Not waiting.
+    mgr.addDirty(5, /*isTail=*/false); // Re-linked above dirty data.
+    EXPECT_EQ(mgr.oldest()->waitingTail.count(5), 1u);
+    mgr.addDirty(5, /*isTail=*/true);
+    EXPECT_EQ(mgr.oldest()->waitingTail.count(5), 0u);
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Broad crash-injection fuzz: every one of the paper's 21 benchmark
+ * profiles, run under TSOPER with crashes at three points spread over
+ * the run, each reconstructed durable state checked to be a legal
+ * strict-TSO cut.  Complements test_crash_property.cc (which goes deep
+ * on a few benchmarks) with breadth across every access-pattern
+ * kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/crash_checker.hh"
+#include "core/system.hh"
+#include "sim/rng.hh"
+#include "workload/generators.hh"
+
+using namespace tsoper;
+
+class CrashFuzz : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(CrashFuzz, TsoperStrictCutAtThreeCrashPoints)
+{
+    SystemConfig cfg = makeConfig(EngineKind::Tsoper);
+    cfg.recordStores = true;
+    const Workload w = generateByName(GetParam(), cfg.numCores,
+                                      0xFACE, 0.03);
+    Cycle full = 0;
+    {
+        System sys(cfg, w);
+        full = sys.run();
+    }
+    Rng rng(0xFACE ^ std::hash<std::string>{}(GetParam()));
+    for (unsigned i = 0; i < 3; ++i) {
+        const Cycle crashAt = 1 + rng.below(full);
+        SCOPED_TRACE("crash@" + std::to_string(crashAt));
+        System sys(cfg, w);
+        const auto durable = sys.runUntilCrash(crashAt);
+        const auto res = checkDurableState(durable, sys.storeLog(),
+                                           PersistModel::StrictTso,
+                                           cfg.numCores);
+        EXPECT_TRUE(res.ok) << res.detail;
+    }
+}
+
+TEST_P(CrashFuzz, DrainedRunExposesEveryStore)
+{
+    SystemConfig cfg = makeConfig(EngineKind::Tsoper);
+    cfg.recordStores = true;
+    const Workload w = generateByName(GetParam(), cfg.numCores,
+                                      0xFEED, 0.03);
+    System sys(cfg, w);
+    sys.run();
+    const auto res = checkDurableState(sys.durableImage(),
+                                       sys.storeLog(),
+                                       PersistModel::StrictTso,
+                                       cfg.numCores);
+    EXPECT_TRUE(res.ok) << res.detail;
+    EXPECT_EQ(res.requiredStores, sys.storeLog().totalStores());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, CrashFuzz,
+                         ::testing::ValuesIn(benchmarkNames()),
+                         [](const auto &info) { return info.param; });

@@ -1,0 +1,89 @@
+/** @file Tests for the flag-gated debug tracing facility. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/debug.hh"
+
+using namespace tsoper;
+
+namespace
+{
+
+struct DebugFixture : public ::testing::Test
+{
+    DebugFixture() { debug::setStream(&out); }
+
+    ~DebugFixture() override
+    {
+        debug::setFlags("");
+        debug::setStream(nullptr);
+    }
+
+    std::ostringstream out;
+};
+
+} // namespace
+
+TEST_F(DebugFixture, DisabledByDefault)
+{
+    debug::setFlags("");
+    EXPECT_FALSE(debug::enabled(debug::Flag::Slc));
+    TSOPER_TRACE(Slc, 10, "should not appear");
+    EXPECT_TRUE(out.str().empty());
+}
+
+TEST_F(DebugFixture, SelectiveFlags)
+{
+    debug::setFlags("slc,agb");
+    EXPECT_TRUE(debug::enabled(debug::Flag::Slc));
+    EXPECT_TRUE(debug::enabled(debug::Flag::Agb));
+    EXPECT_FALSE(debug::enabled(debug::Flag::Cpu));
+    EXPECT_FALSE(debug::enabled(debug::Flag::Bsp));
+}
+
+TEST_F(DebugFixture, AllEnablesEverything)
+{
+    debug::setFlags("all");
+    for (unsigned f = 0;
+         f < static_cast<unsigned>(debug::Flag::NumFlags); ++f)
+        EXPECT_TRUE(debug::enabled(static_cast<debug::Flag>(f)));
+}
+
+TEST_F(DebugFixture, TraceLineFormat)
+{
+    debug::setFlags("ag");
+    TSOPER_TRACE(Ag, 1234, "core " << 3 << " froze AG#" << 7);
+    const std::string line = out.str();
+    EXPECT_NE(line.find("1234"), std::string::npos);
+    EXPECT_NE(line.find("ag:"), std::string::npos);
+    EXPECT_NE(line.find("core 3 froze AG#7"), std::string::npos);
+}
+
+TEST_F(DebugFixture, LazyMessageEvaluation)
+{
+    debug::setFlags("");
+    int evaluations = 0;
+    auto expensive = [&] {
+        ++evaluations;
+        return 42;
+    };
+    TSOPER_TRACE(Cpu, 0, "value " << expensive());
+    EXPECT_EQ(evaluations, 0); // Message not built when disabled.
+    debug::setFlags("cpu");
+    TSOPER_TRACE(Cpu, 0, "value " << expensive());
+    EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(DebugFixture, UnknownFlagIsIgnored)
+{
+    debug::setFlags("slc,bogus");
+    EXPECT_TRUE(debug::enabled(debug::Flag::Slc));
+}
+
+TEST_F(DebugFixture, FlagNamesRoundTrip)
+{
+    EXPECT_STREQ(debug::flagName(debug::Flag::Slc), "slc");
+    EXPECT_STREQ(debug::flagName(debug::Flag::HwRp), "hwrp");
+}

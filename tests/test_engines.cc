@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Engine-behaviour tests: the mechanism-level counters and state
+ * transitions that differentiate the paper's systems — AG freeze
+ * reasons and store blocking (TSOPER), world stalls (STW), exclusion
+ * windows and epoch breaks (BSP), SFR bookkeeping and WPQ durability
+ * (HW-RP), and §II-D markers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/crash_checker.hh"
+#include "core/system.hh"
+#include "workload/generators.hh"
+#include "workload/trace.hh"
+
+using namespace tsoper;
+
+namespace
+{
+
+/** Two cores ping-ponging writes on one line, with compute gaps. */
+Workload
+pingPong(unsigned cores, unsigned rounds, Addr addr = 0x5000'0000)
+{
+    Workload w;
+    w.name = "pingpong";
+    w.perCore.resize(cores);
+    for (unsigned r = 0; r < rounds; ++r) {
+        for (unsigned c = 0; c < 2 && c < cores; ++c) {
+            w.perCore[c].push_back({OpType::Store, addr + 8 * c, 0});
+            w.perCore[c].push_back({OpType::Load, addr, 0});
+            w.perCore[c].push_back({OpType::Compute, 0, 20});
+        }
+    }
+    return w;
+}
+
+/** One core writing n distinct lines, no sharing. */
+Workload
+soloWriter(unsigned cores, unsigned lines)
+{
+    Workload w;
+    w.name = "solo";
+    w.perCore.resize(cores);
+    for (unsigned i = 0; i < lines; ++i) {
+        w.perCore[0].push_back(
+            {OpType::Store, layout::privateAddr(0, i * 8), 0});
+    }
+    return w;
+}
+
+} // namespace
+
+TEST(TsoperEngineTest, RemoteWriteFreezesAndPersists)
+{
+    SystemConfig cfg = makeConfig(EngineKind::Tsoper);
+    const Workload w = pingPong(cfg.numCores, 20);
+    System sys(cfg, w);
+    sys.run();
+    EXPECT_GT(sys.stats().get("ag.freeze_remote"), 0u);
+    EXPECT_GT(sys.stats().get("ag.persisted"), 0u);
+    EXPECT_TRUE(sys.engine().quiescent());
+}
+
+TEST(TsoperEngineTest, SizeCapFreezesAt80Lines)
+{
+    SystemConfig cfg = makeConfig(EngineKind::Tsoper);
+    const Workload w = soloWriter(cfg.numCores, 200);
+    System sys(cfg, w);
+    sys.run();
+    // 200 distinct lines with an 80-line cap: at least two cap freezes.
+    EXPECT_GE(sys.stats().get("ag.freeze_size_cap"), 2u);
+    const Histogram &h = sys.stats().histogram("ag.size");
+    EXPECT_EQ(h.max(), cfg.agMaxLines);
+}
+
+TEST(TsoperEngineTest, SmallCapMakesSmallGroups)
+{
+    SystemConfig cfg = makeConfig(EngineKind::Tsoper);
+    cfg.agMaxLines = 8;
+    const Workload w = soloWriter(cfg.numCores, 100);
+    System sys(cfg, w);
+    sys.run();
+    EXPECT_LE(sys.stats().histogram("ag.size").max(), 8u);
+    EXPECT_GE(sys.stats().get("ag.persisted"), 100u / 8);
+}
+
+TEST(TsoperEngineTest, MarkerFreezesOpenGroup)
+{
+    SystemConfig cfg = makeConfig(EngineKind::Tsoper);
+    Workload w;
+    w.perCore.resize(cfg.numCores);
+    // Three stores, marker, three stores: two AGs of exactly 3 lines.
+    for (unsigned half = 0; half < 2; ++half) {
+        for (unsigned i = 0; i < 3; ++i) {
+            w.perCore[0].push_back(
+                {OpType::Store,
+                 layout::privateAddr(0, (half * 3 + i) * 8), 0});
+        }
+        if (half == 0)
+            w.perCore[0].push_back({OpType::Marker, 0, 0});
+    }
+    System sys(cfg, w);
+    sys.run();
+    EXPECT_EQ(sys.stats().get("ag.persisted"), 2u);
+    EXPECT_EQ(sys.stats().histogram("ag.size").max(), 3u);
+}
+
+TEST(TsoperEngineTest, StoreToFrozenLineBlocks)
+{
+    SystemConfig cfg = makeConfig(EngineKind::Tsoper);
+    Workload w;
+    w.perCore.resize(cfg.numCores);
+    const Addr a = 0x5000'0000;
+    // Core 0 writes A repeatedly; core 1 reads A between writes,
+    // freezing core 0's group — forcing frozen-line store blocks.
+    for (unsigned r = 0; r < 30; ++r) {
+        w.perCore[0].push_back({OpType::Store, a, 0});
+        w.perCore[0].push_back({OpType::Compute, 0, 5});
+        w.perCore[1].push_back({OpType::Load, a, 0});
+        w.perCore[1].push_back({OpType::Compute, 0, 5});
+    }
+    System sys(cfg, w);
+    sys.run();
+    EXPECT_GT(sys.stats().get("ag.store_blocks"), 0u);
+}
+
+TEST(TsoperEngineTest, LlcPinnedWhileAgbHoldsLine)
+{
+    SystemConfig cfg = makeConfig(EngineKind::Tsoper);
+    const Workload w = pingPong(cfg.numCores, 10);
+    System sys(cfg, w);
+    sys.run();
+    // After the drain every pin must have been released.
+    EXPECT_FALSE(sys.llc().isPinned(lineOf(0x5000'0000)));
+}
+
+TEST(StwEngineTest, StallsTheWorldOnExposure)
+{
+    SystemConfig cfg = makeConfig(EngineKind::Stw);
+    const Workload w = pingPong(cfg.numCores, 20);
+    System sys(cfg, w);
+    sys.run();
+    EXPECT_GT(sys.stats().get("stw.stalls"), 0u);
+    EXPECT_GT(sys.stats().get("stw.stall_cycles"), 0u);
+}
+
+TEST(StwEngineTest, NoSharingNoRemoteFreezeStalls)
+{
+    SystemConfig cfg = makeConfig(EngineKind::Stw);
+    const Workload w = soloWriter(cfg.numCores, 20); // Under the cap.
+    System sys(cfg, w);
+    sys.run();
+    EXPECT_EQ(sys.stats().get("ag.freeze_remote"), 0u);
+}
+
+TEST(BspEngineTest, ConflictsBreakEpochs)
+{
+    SystemConfig cfg = makeConfig(EngineKind::Bsp);
+    const Workload w = pingPong(cfg.numCores, 20);
+    System sys(cfg, w);
+    sys.run();
+    EXPECT_GT(sys.stats().get("bsp.epoch_breaks"), 0u);
+    EXPECT_GT(sys.stats().get("bsp.epochs_closed"), 0u);
+}
+
+TEST(BspEngineTest, ExclusionWindowsAccrueOnConflicts)
+{
+    SystemConfig cfg = makeConfig(EngineKind::Bsp);
+    const Workload w = pingPong(cfg.numCores, 60);
+    System sys(cfg, w);
+    sys.run();
+    // Ping-ponging one line re-persists it: LLC exclusion must show up.
+    EXPECT_GT(sys.stats().get("bsp.llc_exclusion_cycles"), 0u);
+}
+
+TEST(BspEngineTest, StoreCapClosesEpochs)
+{
+    SystemConfig cfg = makeConfig(EngineKind::Bsp);
+    cfg.bspEpochStores = 50;
+    const Workload w = soloWriter(cfg.numCores, 200);
+    System sys(cfg, w);
+    sys.run();
+    EXPECT_GE(sys.stats().get("bsp.epochs_closed"), 4u);
+}
+
+TEST(BspEngineTest, SlcVariantHasNoL1Exclusion)
+{
+    SystemConfig cfg = makeConfig(EngineKind::BspSlc);
+    const Workload w = pingPong(cfg.numCores, 40);
+    System sys(cfg, w);
+    sys.run();
+    EXPECT_EQ(sys.stats().get("bsp.l1_exclusion_cycles"), 0u);
+}
+
+TEST(BspEngineTest, AgbVariantSkipsLlcExclusion)
+{
+    SystemConfig cfg = makeConfig(EngineKind::BspSlcAgb);
+    const Workload w = pingPong(cfg.numCores, 40);
+    System sys(cfg, w);
+    sys.run();
+    EXPECT_EQ(sys.stats().get("bsp.llc_exclusion_cycles"), 0u);
+    EXPECT_GT(sys.stats().get("agb.lines_buffered"), 0u);
+}
+
+TEST(HwRpEngineTest, SfrsTrackSyncOperations)
+{
+    SystemConfig cfg = makeConfig(EngineKind::HwRp);
+    const Workload w =
+        generateByName("fluidanimate", cfg.numCores, 1, 0.05);
+    System sys(cfg, w);
+    sys.run();
+    // Every lock acquire/release/barrier is an SFR boundary.
+    const auto syncs = sys.stats().get("cpu.lock_acquires") * 2 +
+                       sys.stats().get("cpu.barriers");
+    EXPECT_GE(sys.stats().get("hwrp.sfrs"), syncs);
+}
+
+TEST(HwRpEngineTest, EvictionsAreSpontaneousPersists)
+{
+    SystemConfig cfg = makeConfig(EngineKind::HwRp);
+    cfg.privSets = 16; // Force evictions.
+    const Workload w =
+        generateByName("streamcluster", cfg.numCores, 1, 0.05);
+    System sys(cfg, w);
+    sys.run();
+    EXPECT_GT(sys.stats().get("hwrp.spontaneous_persists"), 0u);
+}
+
+TEST(HwRpEngineTest, SupersededVersionsSkipPersist)
+{
+    SystemConfig cfg = makeConfig(EngineKind::HwRp);
+    cfg.recordStores = true;
+    // Heavy same-line write sharing with a final barrier.
+    Workload w;
+    w.perCore.resize(cfg.numCores);
+    for (unsigned r = 0; r < 20; ++r) {
+        for (unsigned c = 0; c < cfg.numCores; ++c)
+            w.perCore[c].push_back({OpType::Store, 0x5000'0000, 0});
+    }
+    for (unsigned c = 0; c < cfg.numCores; ++c)
+        w.perCore[c].push_back({OpType::Barrier, layout::barrierAddr(0),
+                                0});
+    w.numBarriers = 1;
+    System sys(cfg, w);
+    sys.run();
+    // Far fewer persists than stores: superseded versions dropped.
+    EXPECT_LT(sys.stats().get("traffic.persist_wb"),
+              sys.stats().get("cpu.stores"));
+}
+
+TEST(EngineDrain, AllEnginesQuiesce)
+{
+    for (EngineKind e :
+         {EngineKind::Tsoper, EngineKind::Stw, EngineKind::Bsp,
+          EngineKind::BspSlc, EngineKind::BspSlcAgb, EngineKind::HwRp}) {
+        SystemConfig cfg = makeConfig(e);
+        const Workload w = pingPong(cfg.numCores, 15);
+        System sys(cfg, w);
+        sys.run();
+        EXPECT_TRUE(sys.engine().quiescent()) << toString(e);
+        // All persist engines eventually write everything to NVM.
+        EXPECT_GT(sys.stats().get("nvm.writes_done"), 0u) << toString(e);
+    }
+}
+
+TEST(EngineDrain, DurableStateIdenticalAcrossStrictEngines)
+{
+    // After a drained run, the durable image must be the same final
+    // memory state for every strict engine.
+    const Workload w = pingPong(8, 25);
+    std::unordered_map<LineAddr, LineWords> reference;
+    bool first = true;
+    for (EngineKind e :
+         {EngineKind::Tsoper, EngineKind::Stw, EngineKind::Bsp,
+          EngineKind::BspSlc, EngineKind::BspSlcAgb}) {
+        SystemConfig cfg = makeConfig(e);
+        System sys(cfg, w);
+        sys.run();
+        auto img = sys.durableImage();
+        // Compare only the workload's data line.
+        const LineAddr line = lineOf(0x5000'0000);
+        ASSERT_TRUE(img.count(line)) << toString(e);
+        if (first) {
+            reference = img;
+            first = false;
+        } else {
+            EXPECT_EQ(img.at(line), reference.at(line)) << toString(e);
+        }
+    }
+}

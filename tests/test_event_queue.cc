@@ -1,0 +1,109 @@
+/** @file Unit tests for the discrete-event kernel. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace tsoper;
+
+TEST(EventQueue, StartsEmptyAtCycleZero)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(EventQueue, ExecutesInCycleOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameCycleTiesBreakByInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.scheduleIn(4, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 5u);
+}
+
+TEST(EventQueue, ZeroDelayEventRunsAfterCurrentEvent)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(7, [&] {
+        order.push_back(1);
+        eq.scheduleIn(0, [&] { order.push_back(2); });
+        order.push_back(3); // Still part of the first event.
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+    EXPECT_EQ(eq.now(), 7u);
+}
+
+TEST(EventQueue, RunStopsAtMaxCycle)
+{
+    EventQueue eq;
+    bool late = false;
+    eq.schedule(10, [] {});
+    eq.schedule(100, [&] { late = true; });
+    eq.run(50);
+    EXPECT_FALSE(late);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_TRUE(late);
+}
+
+TEST(EventQueue, RunUntilPredicate)
+{
+    EventQueue eq;
+    int count = 0;
+    for (Cycle t = 1; t <= 100; ++t)
+        eq.schedule(t, [&] { ++count; });
+    eq.runUntil([&] { return count >= 10; });
+    EXPECT_EQ(count, 10);
+    EXPECT_EQ(eq.now(), 10u);
+}
+
+TEST(EventQueue, SchedulingIntoThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [&] {
+        EXPECT_THROW(eq.schedule(5, [] {}), std::logic_error);
+    });
+    eq.run();
+}
+
+TEST(EventQueue, ExecutedCountsEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 25; ++i)
+        eq.schedule(static_cast<Cycle>(i), [] {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 25u);
+}

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Whole-system integration tests: functional value agreement across
+ * all protocols/engines, determinism, centralized AGB organization,
+ * capacity-stressed configurations, and end-state completeness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/crash_checker.hh"
+#include "core/system.hh"
+#include "workload/generators.hh"
+
+using namespace tsoper;
+
+namespace
+{
+
+/** Final durable words of the shared region, as a canonical map. */
+std::map<Addr, StoreId>
+sharedFinalState(System &sys)
+{
+    std::map<Addr, StoreId> state;
+    for (const auto &[line, words] : sys.durableImage()) {
+        const Addr base = addrOfLine(line);
+        if (base < layout::sharedBase || base >= layout::lockBase)
+            continue;
+        for (unsigned w = 0; w < wordsPerLine; ++w) {
+            if (words[w] != invalidStore)
+                state[base + w * wordBytes] = words[w];
+        }
+    }
+    return state;
+}
+
+} // namespace
+
+TEST(Integration, AllSystemsAgreeOnFinalMemoryState)
+{
+    // The same deterministic workload must leave the identical final
+    // shared-memory image under every protocol/engine combination —
+    // coherence correctness end to end.  lu_ncb is used because its
+    // word-interleaved ownership makes every word's final value
+    // independent of cross-engine timing (one writer per word).
+    const Workload w = generateByName("lu_ncb", 8, 9, 0.04);
+    std::map<Addr, StoreId> reference;
+    bool first = true;
+    for (EngineKind e :
+         {EngineKind::Tsoper, EngineKind::Stw, EngineKind::BspSlc,
+          EngineKind::BspSlcAgb}) {
+        SystemConfig cfg = makeConfig(e);
+        System sys(cfg, w);
+        sys.run();
+        auto state = sharedFinalState(sys);
+        if (first) {
+            reference = std::move(state);
+            first = false;
+            EXPECT_FALSE(reference.empty());
+        } else {
+            EXPECT_EQ(state, reference) << toString(e);
+        }
+    }
+}
+
+TEST(Integration, RunsAreReproducibleEventForEvent)
+{
+    for (EngineKind e : {EngineKind::Tsoper, EngineKind::Bsp}) {
+        SystemConfig cfg = makeConfig(e);
+        const Workload w = generateByName("dedup", cfg.numCores, 5, 0.05);
+        System a(cfg, w);
+        System b(cfg, w);
+        EXPECT_EQ(a.run(), b.run()) << toString(e);
+        EXPECT_EQ(a.eventQueue().executed(), b.eventQueue().executed())
+            << toString(e);
+        EXPECT_EQ(a.stats().get("nvm.writes_done"),
+                  b.stats().get("nvm.writes_done"))
+            << toString(e);
+    }
+}
+
+TEST(Integration, CentralizedAgbWorksEndToEnd)
+{
+    SystemConfig cfg = makeConfig(EngineKind::Tsoper);
+    cfg.agbDistributed = false;
+    cfg.recordStores = true;
+    const Workload w = generateByName("radix", cfg.numCores, 2, 0.04);
+    System sys(cfg, w);
+    sys.run();
+    const CheckResult res =
+        checkDurableState(sys.durableImage(), sys.storeLog(),
+                          PersistModel::StrictTso, cfg.numCores);
+    EXPECT_TRUE(res.ok) << res.detail;
+    EXPECT_EQ(res.requiredStores, sys.storeLog().totalStores());
+}
+
+TEST(Integration, CentralizedAgbCrashConsistency)
+{
+    SystemConfig cfg = makeConfig(EngineKind::Tsoper);
+    cfg.agbDistributed = false;
+    cfg.recordStores = true;
+    const Workload w = generateByName("lu_ncb", cfg.numCores, 6, 0.04);
+    Cycle full = 0;
+    {
+        System sys(cfg, w);
+        full = sys.run();
+    }
+    for (unsigned i = 1; i <= 4; ++i) {
+        System sys(cfg, w);
+        const auto durable = sys.runUntilCrash(full * i / 5);
+        const CheckResult res =
+            checkDurableState(durable, sys.storeLog(),
+                              PersistModel::StrictTso, cfg.numCores);
+        EXPECT_TRUE(res.ok) << "crash " << i << ": " << res.detail;
+    }
+}
+
+TEST(Integration, CacheStressedTsoperStaysCorrect)
+{
+    SystemConfig cfg = makeConfig(EngineKind::Tsoper);
+    cfg.privSets = 16; // 8 KiB private caches: constant evictions.
+    cfg.recordStores = true;
+    const Workload w =
+        generateByName("streamcluster", cfg.numCores, 8, 0.04);
+    System sys(cfg, w);
+    sys.run();
+    EXPECT_GT(sys.stats().get("ag.freeze_evict"), 0u);
+    const CheckResult res =
+        checkDurableState(sys.durableImage(), sys.storeLog(),
+                          PersistModel::StrictTso, cfg.numCores);
+    EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(Integration, CacheStressedCrashSweep)
+{
+    SystemConfig cfg = makeConfig(EngineKind::Tsoper);
+    cfg.privSets = 16;
+    cfg.recordStores = true;
+    const Workload w = generateByName("ocean_cp", cfg.numCores, 10, 0.04);
+    Cycle full = 0;
+    {
+        System sys(cfg, w);
+        full = sys.run();
+    }
+    for (unsigned i = 1; i <= 4; ++i) {
+        System sys(cfg, w);
+        const auto durable = sys.runUntilCrash(full * i / 5);
+        const CheckResult res =
+            checkDurableState(durable, sys.storeLog(),
+                              PersistModel::StrictTso, cfg.numCores);
+        EXPECT_TRUE(res.ok) << "crash " << i << ": " << res.detail;
+    }
+}
+
+TEST(Integration, SixteenCoreConfiguration)
+{
+    SystemConfig cfg = makeConfig(EngineKind::Tsoper);
+    cfg.numCores = 16;
+    cfg.meshCols = 6;
+    cfg.meshRows = 4;
+    const Workload w = generateByName("barnes", cfg.numCores, 1, 0.05);
+    System sys(cfg, w);
+    EXPECT_GT(sys.run(), 0u);
+    EXPECT_TRUE(sys.engine().quiescent());
+}
+
+TEST(Integration, SingleCoreDegenerateCase)
+{
+    SystemConfig cfg = makeConfig(EngineKind::Tsoper);
+    cfg.numCores = 1;
+    cfg.recordStores = true;
+    Workload w;
+    w.perCore.resize(1);
+    for (unsigned i = 0; i < 500; ++i) {
+        w.perCore[0].push_back(
+            {OpType::Store, layout::privateAddr(0, i % 130 * 8), 0});
+        w.perCore[0].push_back(
+            {OpType::Load, layout::privateAddr(0, (i * 7) % 130 * 8),
+             0});
+    }
+    System sys(cfg, w);
+    sys.run();
+    const CheckResult res =
+        checkDurableState(sys.durableImage(), sys.storeLog(),
+                          PersistModel::StrictTso, 1);
+    EXPECT_TRUE(res.ok) << res.detail;
+    EXPECT_EQ(res.requiredStores, sys.storeLog().totalStores());
+}
+
+TEST(Integration, ExecutionCyclesScaleWithWorkload)
+{
+    // canneal's kernel loops until the op budget is met, so its trace
+    // length scales smoothly (phase-based kernels floor at one phase).
+    SystemConfig cfg = makeConfig(EngineKind::Tsoper);
+    const Workload small =
+        generateByName("canneal", cfg.numCores, 1, 0.05);
+    const Workload large =
+        generateByName("canneal", cfg.numCores, 1, 0.2);
+    System a(cfg, small);
+    System b(cfg, large);
+    EXPECT_LT(a.run() * 2, b.run());
+}
+
+TEST(Integration, PersistTrafficNeverExceedsStoresForStrictEngines)
+{
+    // Strict engines persist each version at most once; with
+    // coalescing, persisted lines <= committed stores.
+    for (EngineKind e : {EngineKind::Tsoper, EngineKind::Stw}) {
+        SystemConfig cfg = makeConfig(e);
+        const Workload w =
+            generateByName("radix", cfg.numCores, 3, 0.05);
+        System sys(cfg, w);
+        sys.run();
+        EXPECT_LE(sys.stats().get("traffic.persist_wb"),
+                  sys.stats().get("cpu.stores"))
+            << toString(e);
+    }
+}

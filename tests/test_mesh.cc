@@ -1,0 +1,106 @@
+/** @file Unit tests for the mesh NoC model. */
+
+#include <gtest/gtest.h>
+
+#include "noc/mesh.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+using namespace tsoper;
+
+namespace
+{
+
+SystemConfig
+cfg4x4()
+{
+    SystemConfig cfg;
+    return cfg; // Defaults: 4x4 mesh, 8 cores, 8 banks.
+}
+
+} // namespace
+
+TEST(Mesh, HopCountIsManhattanDistance)
+{
+    StatsRegistry stats;
+    SystemConfig cfg = cfg4x4();
+    Mesh m(cfg, stats);
+    EXPECT_EQ(m.hops(0, 0), 0u);
+    EXPECT_EQ(m.hops(0, 3), 3u);  // Same row, cols 0->3.
+    EXPECT_EQ(m.hops(0, 15), 6u); // Opposite corners of 4x4.
+    EXPECT_EQ(m.hops(5, 6), 1u);
+}
+
+TEST(Mesh, IdealLatencyScalesWithHopsAndBytes)
+{
+    StatsRegistry stats;
+    SystemConfig cfg = cfg4x4();
+    Mesh m(cfg, stats);
+    const Cycle small = m.idealLatency(0, 3, 8);
+    const Cycle big = m.idealLatency(0, 3, 72);
+    EXPECT_GT(big, small);
+    EXPECT_EQ(small, 3 * cfg.hopLatency + 1);
+}
+
+TEST(Mesh, SelfSendCostsOneCycle)
+{
+    StatsRegistry stats;
+    SystemConfig cfg = cfg4x4();
+    Mesh m(cfg, stats);
+    EXPECT_EQ(m.route(2, 2, 64, 100), 101u);
+}
+
+TEST(Mesh, UncontendedRouteMatchesIdealLatency)
+{
+    StatsRegistry stats;
+    SystemConfig cfg = cfg4x4();
+    Mesh m(cfg, stats);
+    const Cycle arrival = m.route(0, 15, 8, 50);
+    EXPECT_EQ(arrival, 50 + m.idealLatency(0, 15, 8));
+}
+
+TEST(Mesh, ContentionDelaysSecondMessage)
+{
+    StatsRegistry stats;
+    SystemConfig cfg = cfg4x4();
+    Mesh m(cfg, stats);
+    // Two large messages over the same first link at the same cycle.
+    const Cycle first = m.route(0, 3, 160, 0);
+    const Cycle second = m.route(0, 3, 160, 0);
+    EXPECT_GT(second, first);
+    EXPECT_GT(stats.get("noc.link_wait_cycles"), 0u);
+}
+
+TEST(Mesh, DisjointPathsDoNotInterfere)
+{
+    StatsRegistry stats;
+    SystemConfig cfg = cfg4x4();
+    Mesh m(cfg, stats);
+    const Cycle a = m.route(0, 1, 160, 0);
+    const Cycle b = m.route(14, 15, 160, 0); // Far corner link.
+    EXPECT_EQ(a - 0, b - 0);
+    EXPECT_EQ(stats.get("noc.link_wait_cycles"), 0u);
+}
+
+TEST(Mesh, TrafficCountersAccumulate)
+{
+    StatsRegistry stats;
+    SystemConfig cfg = cfg4x4();
+    Mesh m(cfg, stats);
+    m.route(0, 5, 72, 0);
+    m.route(1, 6, 8, 0);
+    EXPECT_EQ(stats.get("noc.messages"), 2u);
+    EXPECT_EQ(stats.get("noc.bytes"), 80u);
+}
+
+TEST(Mesh, NodeMapping)
+{
+    StatsRegistry stats;
+    SystemConfig cfg = cfg4x4();
+    Mesh m(cfg, stats);
+    EXPECT_EQ(m.coreNode(0), 0);
+    EXPECT_EQ(m.coreNode(7), 7);
+    EXPECT_EQ(m.bankNode(0), 8);
+    EXPECT_EQ(m.bankNode(7), 15);
+    EXPECT_EQ(m.mcNode(3), m.bankNode(3));
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Reproduction-shape regression tests: the orderings the paper's
+ * evaluation establishes must hold on representative benchmarks, so a
+ * model change that silently breaks the headline result fails CI, not
+ * just the bench output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/crash_checker.hh"
+#include "core/system.hh"
+#include "workload/generators.hh"
+
+using namespace tsoper;
+
+namespace
+{
+
+double
+gmeanOverhead(EngineKind engine, double scale = 0.1)
+{
+    const std::vector<std::string> benches = {"ocean_cp", "radix",
+                                              "dedup", "bodytrack",
+                                              "blackscholes"};
+    double logSum = 0.0;
+    for (const auto &bench : benches) {
+        SystemConfig base = makeConfig(EngineKind::None);
+        const Workload w = generateByName(bench, base.numCores, 1, scale);
+        System baseline(base, w);
+        const double baseCycles = static_cast<double>(baseline.run());
+        SystemConfig cfg = makeConfig(engine);
+        System sys(cfg, w);
+        logSum += std::log(static_cast<double>(sys.run()) / baseCycles);
+    }
+    return std::exp(logSum / static_cast<double>(benches.size()));
+}
+
+} // namespace
+
+TEST(ShapeRegression, Fig11SystemOrdering)
+{
+    const double hwrp = gmeanOverhead(EngineKind::HwRp);
+    const double tsoper = gmeanOverhead(EngineKind::Tsoper);
+    const double bsp = gmeanOverhead(EngineKind::Bsp);
+    const double stw = gmeanOverhead(EngineKind::Stw);
+    // The paper's ordering: HW-RP <= TSOPER < BSP < STW.
+    EXPECT_LE(hwrp, tsoper * 1.02); // Allow 2% noise.
+    EXPECT_LT(tsoper, bsp);
+    EXPECT_LT(bsp, stw);
+    // TSOPER's headline: strict TSO at near-relaxed cost.
+    EXPECT_LT(tsoper, 1.25);
+    // And STW shows why the machinery matters.
+    EXPECT_GT(stw, 1.5);
+}
+
+TEST(ShapeRegression, Fig12SteppingStones)
+{
+    const double bsp = gmeanOverhead(EngineKind::Bsp);
+    const double bspSlc = gmeanOverhead(EngineKind::BspSlc);
+    const double bspSlcAgb = gmeanOverhead(EngineKind::BspSlcAgb);
+    const double tsoper = gmeanOverhead(EngineKind::Tsoper);
+    // Each innovation helps: BSP > +SLC > (+AGB ~ TSOPER).
+    EXPECT_GT(bsp, bspSlc);
+    EXPECT_GT(bspSlc * 1.02, bspSlcAgb);
+    EXPECT_NEAR(bspSlcAgb, tsoper, 0.1);
+}
+
+TEST(ShapeRegression, Fig13AgSizesSmall)
+{
+    SystemConfig cfg = makeConfig(EngineKind::Tsoper);
+    cfg.agMaxLines = 512;
+    cfg.agbSliceLines = 1024;
+    Histogram merged;
+    for (const char *bench : {"ocean_cp", "dedup", "canneal"}) {
+        const Workload w = generateByName(bench, cfg.numCores, 1, 0.1);
+        System sys(cfg, w);
+        sys.run();
+        for (const auto &[v, n] :
+             sys.stats().histogram("ag.size").buckets())
+            merged.add(v, n);
+    }
+    // Paper: ~90% under 10 lines, <1% above 80.
+    EXPECT_GT(merged.cumulativeAt(10), 0.80);
+    EXPECT_LT(1.0 - merged.cumulativeAt(79), 0.02);
+}
+
+TEST(ShapeRegression, Fig14HwRpPersistsMoreOnLockHeavyApps)
+{
+    for (const char *bench : {"dedup", "x264"}) {
+        SystemConfig rp = makeConfig(EngineKind::HwRp);
+        const Workload w = generateByName(bench, rp.numCores, 1, 0.1);
+        System hwrp(rp, w);
+        hwrp.run();
+        SystemConfig ts = makeConfig(EngineKind::Tsoper);
+        System tsoper(ts, w);
+        tsoper.run();
+        EXPECT_GT(hwrp.stats().get("traffic.persist_wb"),
+                  tsoper.stats().get("traffic.persist_wb"))
+            << bench;
+    }
+}
+
+class CoreCountMatrix : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CoreCountMatrix, TsoperScalesAcrossCoreCounts)
+{
+    SystemConfig cfg = makeConfig(EngineKind::Tsoper);
+    cfg.numCores = GetParam();
+    if (cfg.numCores > 8) {
+        cfg.meshCols = 6;
+        cfg.meshRows = 4;
+    }
+    cfg.recordStores = true;
+    const Workload w =
+        generateByName("canneal", cfg.numCores, 3, 0.04);
+    System sys(cfg, w);
+    EXPECT_GT(sys.run(), 0u);
+    const auto res = checkDurableState(sys.durableImage(),
+                                       sys.storeLog(),
+                                       PersistModel::StrictTso,
+                                       cfg.numCores);
+    EXPECT_TRUE(res.ok) << res.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, CoreCountMatrix,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u),
+                         [](const auto &info) {
+                             return std::to_string(info.param) + "cores";
+                         });

@@ -1,0 +1,107 @@
+/** @file Unit tests for counters, histograms and the stats registry. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using namespace tsoper;
+
+TEST(Counter, AccumulatesAndResets)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(9);
+    EXPECT_EQ(c.value(), 10u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, BasicMoments)
+{
+    Histogram h;
+    for (std::uint64_t v : {1, 2, 2, 3, 3, 3})
+        h.add(v);
+    EXPECT_EQ(h.samples(), 6u);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 14.0 / 6.0);
+}
+
+TEST(Histogram, CumulativeDistribution)
+{
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        h.add(v);
+    EXPECT_DOUBLE_EQ(h.cumulativeAt(10), 0.10);
+    EXPECT_DOUBLE_EQ(h.cumulativeAt(100), 1.0);
+    EXPECT_DOUBLE_EQ(h.cumulativeAt(0), 0.0);
+}
+
+TEST(Histogram, Percentiles)
+{
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        h.add(v);
+    EXPECT_EQ(h.percentile(0.5), 50u);
+    EXPECT_EQ(h.percentile(0.9), 90u);
+    EXPECT_EQ(h.percentile(1.0), 100u);
+}
+
+TEST(Histogram, WeightedAdd)
+{
+    Histogram h;
+    h.add(4, 10);
+    EXPECT_EQ(h.samples(), 10u);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(Histogram, EmptyIsSafe)
+{
+    Histogram h;
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_DOUBLE_EQ(h.cumulativeAt(5), 0.0);
+}
+
+TEST(WeightedAverage, TimeWeighting)
+{
+    WeightedAverage w;
+    w.update(10, 2.0); // value 2.0 held for cycles [0, 10)
+    w.update(20, 4.0); // value 4.0 held for cycles [10, 20)
+    EXPECT_DOUBLE_EQ(w.average(), 3.0);
+}
+
+TEST(StatsRegistry, CountersByName)
+{
+    StatsRegistry reg;
+    reg.counter("a").inc(5);
+    reg.counter("a").inc(2);
+    EXPECT_EQ(reg.get("a"), 7u);
+    EXPECT_EQ(reg.get("missing"), 0u);
+}
+
+TEST(StatsRegistry, DumpContainsEntries)
+{
+    StatsRegistry reg;
+    reg.counter("x.count").inc(3);
+    reg.histogram("y.hist").add(7);
+    std::ostringstream os;
+    reg.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("x.count 3"), std::string::npos);
+    EXPECT_NE(out.find("y.hist.samples 1"), std::string::npos);
+}
+
+TEST(TimeSeries, RecordsPoints)
+{
+    TimeSeries ts;
+    ts.sample(5, 1.5);
+    ts.sample(9, 2.5);
+    ASSERT_EQ(ts.points().size(), 2u);
+    EXPECT_EQ(ts.points()[0].first, 5u);
+    EXPECT_DOUBLE_EQ(ts.points()[1].second, 2.5);
+}

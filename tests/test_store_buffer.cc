@@ -1,0 +1,73 @@
+/** @file Unit tests for the TSO store buffer. */
+
+#include <gtest/gtest.h>
+
+#include "mem/store_buffer.hh"
+
+using namespace tsoper;
+
+TEST(StoreBuffer, FifoOrder)
+{
+    StoreBuffer sb(4);
+    sb.push(0x100, makeStoreId(0, 0));
+    sb.push(0x200, makeStoreId(0, 1));
+    EXPECT_EQ(sb.front().addr, 0x100u);
+    sb.pop();
+    EXPECT_EQ(sb.front().addr, 0x200u);
+}
+
+TEST(StoreBuffer, CapacityAndFull)
+{
+    StoreBuffer sb(2);
+    EXPECT_FALSE(sb.full());
+    sb.push(0x0, makeStoreId(0, 0));
+    sb.push(0x8, makeStoreId(0, 1));
+    EXPECT_TRUE(sb.full());
+    EXPECT_THROW(sb.push(0x10, makeStoreId(0, 2)), std::logic_error);
+}
+
+TEST(StoreBuffer, ForwardsYoungestSameWord)
+{
+    StoreBuffer sb(4);
+    sb.push(0x100, makeStoreId(0, 0));
+    sb.push(0x100, makeStoreId(0, 1)); // Same word, younger.
+    sb.push(0x108, makeStoreId(0, 2)); // Different word.
+    auto f = sb.forward(0x100);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(*f, makeStoreId(0, 1));
+}
+
+TEST(StoreBuffer, NoForwardForUntouchedWord)
+{
+    StoreBuffer sb(4);
+    sb.push(0x100, makeStoreId(0, 0));
+    EXPECT_FALSE(sb.forward(0x108).has_value());
+}
+
+TEST(StoreBuffer, ForwardMatchesWordNotByte)
+{
+    StoreBuffer sb(4);
+    sb.push(0x100, makeStoreId(0, 0));
+    // 0x104 lies within the same 8-byte word as 0x100.
+    auto f = sb.forward(0x104);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(*f, makeStoreId(0, 0));
+}
+
+TEST(StoreBuffer, ContainsLine)
+{
+    StoreBuffer sb(4);
+    sb.push(0x100, makeStoreId(0, 0));
+    EXPECT_TRUE(sb.containsLine(lineOf(0x100)));
+    EXPECT_TRUE(sb.containsLine(lineOf(0x138))); // Same 64 B line.
+    EXPECT_FALSE(sb.containsLine(lineOf(0x140)));
+    sb.pop();
+    EXPECT_FALSE(sb.containsLine(lineOf(0x100)));
+}
+
+TEST(StoreBuffer, EmptyAccessorsPanic)
+{
+    StoreBuffer sb(2);
+    EXPECT_THROW(sb.front(), std::logic_error);
+    EXPECT_THROW(sb.pop(), std::logic_error);
+}

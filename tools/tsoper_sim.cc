@@ -1,0 +1,258 @@
+/**
+ * @file
+ * tsoper_sim — the command-line simulator driver.
+ *
+ *   tsoper_sim --engine=tsoper --bench=ocean_cp --scale=0.5 --stats
+ *   tsoper_sim --engine=stw --trace=my.trace --crash-at=0.5 --check
+ *   tsoper_sim --list-benchmarks
+ *   tsoper_sim --engine=tsoper --bench=radix --save-trace=radix.trace
+ *
+ * Options:
+ *   --engine=<baseline|baseline-mesi|hwrp|bsp|bsp-slc|bsp-slc-agb|
+ *             stw|tsoper>                       (default tsoper)
+ *   --bench=<name>         workload profile     (default ocean_cp)
+ *   --trace=<file>         drive from a trace file instead
+ *   --scale=<f>            workload scale       (default 1.0)
+ *   --seed=<n>             workload seed        (default 1)
+ *   --cores=<n>            core count           (default 8)
+ *   --ag-max-lines=<n>     atomic group cap
+ *   --agb-slice-lines=<n>  AGB slice capacity
+ *   --crash-at=<c|f>       crash at cycle c (>1) or fraction f of the
+ *                          run (0<f<=1); implies a prior timing run
+ *   --check                audit the durable state (strict TSO, or the
+ *                          SFR contract for --engine=hwrp)
+ *   --stats                dump all statistics
+ *   --stats-out=<file>     write statistics to a file
+ *   --save-trace=<file>    save the generated workload and exit
+ *   --describe             print the configuration and exit
+ *   --list-benchmarks      print available profiles and exit
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/recovery.hh"
+#include "core/system.hh"
+#include "workload/generators.hh"
+#include "workload/trace_io.hh"
+
+using namespace tsoper;
+
+namespace
+{
+
+struct CliOptions
+{
+    std::string engine = "tsoper";
+    std::string bench = "ocean_cp";
+    std::string traceFile;
+    std::string saveTrace;
+    std::string statsOut;
+    double scale = 1.0;
+    std::uint64_t seed = 1;
+    unsigned cores = 8;
+    unsigned agMaxLines = 0;
+    unsigned agbSliceLines = 0;
+    double crashAt = 0.0;
+    bool check = false;
+    bool stats = false;
+    bool describe = false;
+    bool listBenchmarks = false;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf("usage: tsoper_sim [--engine=E] [--bench=B|--trace=F] "
+                "[--scale=F] [--seed=N]\n"
+                "                  [--cores=N] [--crash-at=C] [--check] "
+                "[--stats] [--stats-out=F]\n"
+                "                  [--save-trace=F] [--describe] "
+                "[--list-benchmarks]\n");
+    std::exit(code);
+}
+
+EngineKind
+parseEngine(const std::string &name, ProtocolKind *forceProtocol)
+{
+    if (name == "baseline")
+        return EngineKind::None;
+    if (name == "baseline-mesi") {
+        *forceProtocol = ProtocolKind::Mesi;
+        return EngineKind::None;
+    }
+    if (name == "hwrp")
+        return EngineKind::HwRp;
+    if (name == "bsp")
+        return EngineKind::Bsp;
+    if (name == "bsp-slc")
+        return EngineKind::BspSlc;
+    if (name == "bsp-slc-agb")
+        return EngineKind::BspSlcAgb;
+    if (name == "stw")
+        return EngineKind::Stw;
+    if (name == "tsoper")
+        return EngineKind::Tsoper;
+    std::fprintf(stderr, "unknown engine: %s\n", name.c_str());
+    usage(2);
+}
+
+CliOptions
+parseCli(int argc, char **argv)
+{
+    CliOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto val = [&](const char *prefix) -> std::string {
+            return arg.substr(std::string(prefix).size());
+        };
+        if (arg.rfind("--engine=", 0) == 0)
+            opt.engine = val("--engine=");
+        else if (arg.rfind("--bench=", 0) == 0)
+            opt.bench = val("--bench=");
+        else if (arg.rfind("--trace=", 0) == 0)
+            opt.traceFile = val("--trace=");
+        else if (arg.rfind("--save-trace=", 0) == 0)
+            opt.saveTrace = val("--save-trace=");
+        else if (arg.rfind("--stats-out=", 0) == 0)
+            opt.statsOut = val("--stats-out=");
+        else if (arg.rfind("--scale=", 0) == 0)
+            opt.scale = std::stod(val("--scale="));
+        else if (arg.rfind("--seed=", 0) == 0)
+            opt.seed = std::stoull(val("--seed="));
+        else if (arg.rfind("--cores=", 0) == 0)
+            opt.cores = static_cast<unsigned>(
+                std::stoul(val("--cores=")));
+        else if (arg.rfind("--ag-max-lines=", 0) == 0)
+            opt.agMaxLines = static_cast<unsigned>(
+                std::stoul(val("--ag-max-lines=")));
+        else if (arg.rfind("--agb-slice-lines=", 0) == 0)
+            opt.agbSliceLines = static_cast<unsigned>(
+                std::stoul(val("--agb-slice-lines=")));
+        else if (arg.rfind("--crash-at=", 0) == 0)
+            opt.crashAt = std::stod(val("--crash-at="));
+        else if (arg == "--check")
+            opt.check = true;
+        else if (arg == "--stats")
+            opt.stats = true;
+        else if (arg == "--describe")
+            opt.describe = true;
+        else if (arg == "--list-benchmarks")
+            opt.listBenchmarks = true;
+        else if (arg == "--help" || arg == "-h")
+            usage(0);
+        else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage(2);
+        }
+    }
+    return opt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions opt = parseCli(argc, argv);
+
+    if (opt.listBenchmarks) {
+        for (const Profile &p : allProfiles())
+            std::printf("%-14s ops/core=%-6u write=%.2f shared=%.2f "
+                        "locks=%u\n",
+                        p.name.c_str(), p.opsPerCore, p.writeFrac,
+                        p.sharedFrac, p.numLocks);
+        return 0;
+    }
+
+    ProtocolKind forced = ProtocolKind::Slc;
+    const EngineKind engine = parseEngine(opt.engine, &forced);
+    SystemConfig cfg = makeConfig(engine);
+    if (opt.engine == "baseline-mesi")
+        cfg.protocol = forced;
+    cfg.numCores = opt.cores;
+    if (opt.cores > 8) {
+        cfg.meshCols = 6;
+        cfg.meshRows = (opt.cores + cfg.llcBanks + 5) / 6;
+    }
+    if (opt.agMaxLines)
+        cfg.agMaxLines = opt.agMaxLines;
+    if (opt.agbSliceLines)
+        cfg.agbSliceLines = opt.agbSliceLines;
+    cfg.recordStores = opt.check;
+    cfg.seed = opt.seed;
+
+    if (opt.describe) {
+        cfg.describe(std::cout);
+        return 0;
+    }
+
+    const Workload w =
+        opt.traceFile.empty()
+            ? generateByName(opt.bench, cfg.numCores, opt.seed,
+                             opt.scale)
+            : loadWorkloadFile(opt.traceFile);
+    std::string error;
+    if (!validateWorkload(w, &error)) {
+        std::fprintf(stderr, "invalid workload: %s\n", error.c_str());
+        return 1;
+    }
+    if (!opt.saveTrace.empty()) {
+        saveWorkloadFile(w, opt.saveTrace);
+        std::printf("saved %zu-op workload to %s\n", w.totalOps(),
+                    opt.saveTrace.c_str());
+        return 0;
+    }
+
+    std::printf("engine=%s workload=%s ops=%zu stores=%zu cores=%u\n",
+                toString(cfg.engine), w.name.c_str(), w.totalOps(),
+                w.totalStores(), cfg.numCores);
+
+    if (opt.crashAt > 0.0) {
+        Cycle crashCycle = static_cast<Cycle>(opt.crashAt);
+        if (opt.crashAt <= 1.0) {
+            System timing(cfg, w);
+            const Cycle full = timing.run();
+            crashCycle = static_cast<Cycle>(
+                static_cast<double>(full) * opt.crashAt);
+        }
+        System sys(cfg, w);
+        sys.runUntilCrash(crashCycle);
+        std::printf("crashed at cycle %llu\n",
+                    static_cast<unsigned long long>(crashCycle));
+        const PersistModel model = engine == EngineKind::HwRp
+                                       ? PersistModel::RelaxedSfr
+                                       : PersistModel::StrictTso;
+        const RecoveryReport report = recover(sys, model);
+        std::printf("%s\n", report.summary().c_str());
+        if (opt.stats)
+            sys.stats().dump(std::cout);
+        return (report.audited && !report.consistency.ok) ? 1 : 0;
+    }
+
+    System sys(cfg, w);
+    const Cycle cycles = sys.run();
+    std::printf("finished in %llu cycles (+%llu drain)\n",
+                static_cast<unsigned long long>(cycles),
+                static_cast<unsigned long long>(
+                    sys.stats().get("sys.drain_cycles")));
+    if (opt.check) {
+        const PersistModel model = engine == EngineKind::HwRp
+                                       ? PersistModel::RelaxedSfr
+                                       : PersistModel::StrictTso;
+        const RecoveryReport report = recover(sys, model);
+        std::printf("%s\n", report.summary().c_str());
+        if (report.audited && !report.consistency.ok)
+            return 1;
+    }
+    if (opt.stats)
+        sys.stats().dump(std::cout);
+    if (!opt.statsOut.empty()) {
+        std::ofstream os(opt.statsOut);
+        sys.stats().dump(os);
+        std::printf("stats written to %s\n", opt.statsOut.c_str());
+    }
+    return 0;
+}
