@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ag_limit.dir/ablation_ag_limit.cc.o"
+  "CMakeFiles/ablation_ag_limit.dir/ablation_ag_limit.cc.o.d"
+  "ablation_ag_limit"
+  "ablation_ag_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ag_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

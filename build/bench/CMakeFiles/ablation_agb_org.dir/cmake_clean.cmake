@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_agb_org.dir/ablation_agb_org.cc.o"
+  "CMakeFiles/ablation_agb_org.dir/ablation_agb_org.cc.o.d"
+  "ablation_agb_org"
+  "ablation_agb_org.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_agb_org.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_agb_size.dir/ablation_agb_size.cc.o"
+  "CMakeFiles/ablation_agb_size.dir/ablation_agb_size.cc.o.d"
+  "ablation_agb_size"
+  "ablation_agb_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_agb_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

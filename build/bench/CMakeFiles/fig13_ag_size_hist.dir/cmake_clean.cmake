@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_ag_size_hist.dir/fig13_ag_size_hist.cc.o"
+  "CMakeFiles/fig13_ag_size_hist.dir/fig13_ag_size_hist.cc.o.d"
+  "fig13_ag_size_hist"
+  "fig13_ag_size_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ag_size_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

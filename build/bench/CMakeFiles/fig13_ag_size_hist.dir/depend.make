@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_ag_size_hist.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_sfr_vs_ag.dir/fig15_sfr_vs_ag.cc.o"
+  "CMakeFiles/fig15_sfr_vs_ag.dir/fig15_sfr_vs_ag.cc.o.d"
+  "fig15_sfr_vs_ag"
+  "fig15_sfr_vs_ag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_sfr_vs_ag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_sfr_vs_ag.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stat_list_lengths.dir/stat_list_lengths.cc.o"
+  "CMakeFiles/stat_list_lengths.dir/stat_list_lengths.cc.o.d"
+  "stat_list_lengths"
+  "stat_list_lengths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stat_list_lengths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

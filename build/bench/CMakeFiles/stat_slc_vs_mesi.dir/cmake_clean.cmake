@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stat_slc_vs_mesi.dir/stat_slc_vs_mesi.cc.o"
+  "CMakeFiles/stat_slc_vs_mesi.dir/stat_slc_vs_mesi.cc.o.d"
+  "stat_slc_vs_mesi"
+  "stat_slc_vs_mesi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stat_slc_vs_mesi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

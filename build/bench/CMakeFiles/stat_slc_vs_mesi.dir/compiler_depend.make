@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for stat_slc_vs_mesi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for stat_slc_vs_mesi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_protocol_complexity.dir/table_protocol_complexity.cc.o"
+  "CMakeFiles/table_protocol_complexity.dir/table_protocol_complexity.cc.o.d"
+  "table_protocol_complexity"
+  "table_protocol_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_protocol_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

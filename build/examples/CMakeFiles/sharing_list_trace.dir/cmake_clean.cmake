@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharing_list_trace.dir/sharing_list_trace.cpp.o"
+  "CMakeFiles/sharing_list_trace.dir/sharing_list_trace.cpp.o.d"
+  "sharing_list_trace"
+  "sharing_list_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharing_list_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coherence/directory.cc" "src/CMakeFiles/tsoper_coherence.dir/coherence/directory.cc.o" "gcc" "src/CMakeFiles/tsoper_coherence.dir/coherence/directory.cc.o.d"
+  "/root/repo/src/coherence/mesi.cc" "src/CMakeFiles/tsoper_coherence.dir/coherence/mesi.cc.o" "gcc" "src/CMakeFiles/tsoper_coherence.dir/coherence/mesi.cc.o.d"
+  "/root/repo/src/coherence/protocol.cc" "src/CMakeFiles/tsoper_coherence.dir/coherence/protocol.cc.o" "gcc" "src/CMakeFiles/tsoper_coherence.dir/coherence/protocol.cc.o.d"
+  "/root/repo/src/coherence/slc.cc" "src/CMakeFiles/tsoper_coherence.dir/coherence/slc.cc.o" "gcc" "src/CMakeFiles/tsoper_coherence.dir/coherence/slc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tsoper_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsoper_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsoper_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

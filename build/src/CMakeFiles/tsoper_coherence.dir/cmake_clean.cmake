@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsoper_coherence.dir/coherence/directory.cc.o"
+  "CMakeFiles/tsoper_coherence.dir/coherence/directory.cc.o.d"
+  "CMakeFiles/tsoper_coherence.dir/coherence/mesi.cc.o"
+  "CMakeFiles/tsoper_coherence.dir/coherence/mesi.cc.o.d"
+  "CMakeFiles/tsoper_coherence.dir/coherence/protocol.cc.o"
+  "CMakeFiles/tsoper_coherence.dir/coherence/protocol.cc.o.d"
+  "CMakeFiles/tsoper_coherence.dir/coherence/slc.cc.o"
+  "CMakeFiles/tsoper_coherence.dir/coherence/slc.cc.o.d"
+  "libtsoper_coherence.a"
+  "libtsoper_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsoper_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tsoper_coherence.
+# This may be replaced when dependencies are built.

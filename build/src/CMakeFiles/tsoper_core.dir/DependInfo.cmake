@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/agb.cc" "src/CMakeFiles/tsoper_core.dir/core/agb.cc.o" "gcc" "src/CMakeFiles/tsoper_core.dir/core/agb.cc.o.d"
+  "/root/repo/src/core/atomic_group.cc" "src/CMakeFiles/tsoper_core.dir/core/atomic_group.cc.o" "gcc" "src/CMakeFiles/tsoper_core.dir/core/atomic_group.cc.o.d"
+  "/root/repo/src/core/bsp_engine.cc" "src/CMakeFiles/tsoper_core.dir/core/bsp_engine.cc.o" "gcc" "src/CMakeFiles/tsoper_core.dir/core/bsp_engine.cc.o.d"
+  "/root/repo/src/core/cpu.cc" "src/CMakeFiles/tsoper_core.dir/core/cpu.cc.o" "gcc" "src/CMakeFiles/tsoper_core.dir/core/cpu.cc.o.d"
+  "/root/repo/src/core/crash_checker.cc" "src/CMakeFiles/tsoper_core.dir/core/crash_checker.cc.o" "gcc" "src/CMakeFiles/tsoper_core.dir/core/crash_checker.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/tsoper_core.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/tsoper_core.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/hwrp_engine.cc" "src/CMakeFiles/tsoper_core.dir/core/hwrp_engine.cc.o" "gcc" "src/CMakeFiles/tsoper_core.dir/core/hwrp_engine.cc.o.d"
+  "/root/repo/src/core/recovery.cc" "src/CMakeFiles/tsoper_core.dir/core/recovery.cc.o" "gcc" "src/CMakeFiles/tsoper_core.dir/core/recovery.cc.o.d"
+  "/root/repo/src/core/stw_engine.cc" "src/CMakeFiles/tsoper_core.dir/core/stw_engine.cc.o" "gcc" "src/CMakeFiles/tsoper_core.dir/core/stw_engine.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/CMakeFiles/tsoper_core.dir/core/system.cc.o" "gcc" "src/CMakeFiles/tsoper_core.dir/core/system.cc.o.d"
+  "/root/repo/src/core/tsoper_engine.cc" "src/CMakeFiles/tsoper_core.dir/core/tsoper_engine.cc.o" "gcc" "src/CMakeFiles/tsoper_core.dir/core/tsoper_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tsoper_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsoper_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsoper_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsoper_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsoper_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

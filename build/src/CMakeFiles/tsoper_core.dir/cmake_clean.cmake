@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsoper_core.dir/core/agb.cc.o"
+  "CMakeFiles/tsoper_core.dir/core/agb.cc.o.d"
+  "CMakeFiles/tsoper_core.dir/core/atomic_group.cc.o"
+  "CMakeFiles/tsoper_core.dir/core/atomic_group.cc.o.d"
+  "CMakeFiles/tsoper_core.dir/core/bsp_engine.cc.o"
+  "CMakeFiles/tsoper_core.dir/core/bsp_engine.cc.o.d"
+  "CMakeFiles/tsoper_core.dir/core/cpu.cc.o"
+  "CMakeFiles/tsoper_core.dir/core/cpu.cc.o.d"
+  "CMakeFiles/tsoper_core.dir/core/crash_checker.cc.o"
+  "CMakeFiles/tsoper_core.dir/core/crash_checker.cc.o.d"
+  "CMakeFiles/tsoper_core.dir/core/engine.cc.o"
+  "CMakeFiles/tsoper_core.dir/core/engine.cc.o.d"
+  "CMakeFiles/tsoper_core.dir/core/hwrp_engine.cc.o"
+  "CMakeFiles/tsoper_core.dir/core/hwrp_engine.cc.o.d"
+  "CMakeFiles/tsoper_core.dir/core/recovery.cc.o"
+  "CMakeFiles/tsoper_core.dir/core/recovery.cc.o.d"
+  "CMakeFiles/tsoper_core.dir/core/stw_engine.cc.o"
+  "CMakeFiles/tsoper_core.dir/core/stw_engine.cc.o.d"
+  "CMakeFiles/tsoper_core.dir/core/system.cc.o"
+  "CMakeFiles/tsoper_core.dir/core/system.cc.o.d"
+  "CMakeFiles/tsoper_core.dir/core/tsoper_engine.cc.o"
+  "CMakeFiles/tsoper_core.dir/core/tsoper_engine.cc.o.d"
+  "libtsoper_core.a"
+  "libtsoper_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsoper_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache_array.cc" "src/CMakeFiles/tsoper_mem.dir/mem/cache_array.cc.o" "gcc" "src/CMakeFiles/tsoper_mem.dir/mem/cache_array.cc.o.d"
+  "/root/repo/src/mem/llc.cc" "src/CMakeFiles/tsoper_mem.dir/mem/llc.cc.o" "gcc" "src/CMakeFiles/tsoper_mem.dir/mem/llc.cc.o.d"
+  "/root/repo/src/mem/nvm.cc" "src/CMakeFiles/tsoper_mem.dir/mem/nvm.cc.o" "gcc" "src/CMakeFiles/tsoper_mem.dir/mem/nvm.cc.o.d"
+  "/root/repo/src/mem/store_buffer.cc" "src/CMakeFiles/tsoper_mem.dir/mem/store_buffer.cc.o" "gcc" "src/CMakeFiles/tsoper_mem.dir/mem/store_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tsoper_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsoper_mem.dir/mem/cache_array.cc.o"
+  "CMakeFiles/tsoper_mem.dir/mem/cache_array.cc.o.d"
+  "CMakeFiles/tsoper_mem.dir/mem/llc.cc.o"
+  "CMakeFiles/tsoper_mem.dir/mem/llc.cc.o.d"
+  "CMakeFiles/tsoper_mem.dir/mem/nvm.cc.o"
+  "CMakeFiles/tsoper_mem.dir/mem/nvm.cc.o.d"
+  "CMakeFiles/tsoper_mem.dir/mem/store_buffer.cc.o"
+  "CMakeFiles/tsoper_mem.dir/mem/store_buffer.cc.o.d"
+  "libtsoper_mem.a"
+  "libtsoper_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsoper_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsoper_noc.dir/noc/mesh.cc.o"
+  "CMakeFiles/tsoper_noc.dir/noc/mesh.cc.o.d"
+  "libtsoper_noc.a"
+  "libtsoper_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsoper_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtsoper_noc.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsoper_sim.dir/sim/config.cc.o"
+  "CMakeFiles/tsoper_sim.dir/sim/config.cc.o.d"
+  "CMakeFiles/tsoper_sim.dir/sim/debug.cc.o"
+  "CMakeFiles/tsoper_sim.dir/sim/debug.cc.o.d"
+  "CMakeFiles/tsoper_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/tsoper_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/tsoper_sim.dir/sim/log.cc.o"
+  "CMakeFiles/tsoper_sim.dir/sim/log.cc.o.d"
+  "CMakeFiles/tsoper_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/tsoper_sim.dir/sim/stats.cc.o.d"
+  "CMakeFiles/tsoper_sim.dir/sim/store_log.cc.o"
+  "CMakeFiles/tsoper_sim.dir/sim/store_log.cc.o.d"
+  "libtsoper_sim.a"
+  "libtsoper_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsoper_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

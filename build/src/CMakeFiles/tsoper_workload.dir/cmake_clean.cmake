@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsoper_workload.dir/workload/generators.cc.o"
+  "CMakeFiles/tsoper_workload.dir/workload/generators.cc.o.d"
+  "CMakeFiles/tsoper_workload.dir/workload/profiles.cc.o"
+  "CMakeFiles/tsoper_workload.dir/workload/profiles.cc.o.d"
+  "CMakeFiles/tsoper_workload.dir/workload/trace.cc.o"
+  "CMakeFiles/tsoper_workload.dir/workload/trace.cc.o.d"
+  "CMakeFiles/tsoper_workload.dir/workload/trace_io.cc.o"
+  "CMakeFiles/tsoper_workload.dir/workload/trace_io.cc.o.d"
+  "libtsoper_workload.a"
+  "libtsoper_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsoper_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

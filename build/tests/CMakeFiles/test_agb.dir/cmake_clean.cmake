@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_agb.dir/test_agb.cc.o"
+  "CMakeFiles/test_agb.dir/test_agb.cc.o.d"
+  "test_agb"
+  "test_agb.pdb"
+  "test_agb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_agb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

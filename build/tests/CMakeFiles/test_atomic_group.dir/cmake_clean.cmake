@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atomic_group.dir/test_atomic_group.cc.o"
+  "CMakeFiles/test_atomic_group.dir/test_atomic_group.cc.o.d"
+  "test_atomic_group"
+  "test_atomic_group.pdb"
+  "test_atomic_group[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atomic_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_sync.dir/test_cpu_sync.cc.o"
+  "CMakeFiles/test_cpu_sync.dir/test_cpu_sync.cc.o.d"
+  "test_cpu_sync"
+  "test_cpu_sync.pdb"
+  "test_cpu_sync[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crash_checker.dir/test_crash_checker.cc.o"
+  "CMakeFiles/test_crash_checker.dir/test_crash_checker.cc.o.d"
+  "test_crash_checker"
+  "test_crash_checker.pdb"
+  "test_crash_checker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crash_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crash_fuzz.dir/test_crash_fuzz.cc.o"
+  "CMakeFiles/test_crash_fuzz.dir/test_crash_fuzz.cc.o.d"
+  "test_crash_fuzz"
+  "test_crash_fuzz.pdb"
+  "test_crash_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crash_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crash_property.dir/test_crash_property.cc.o"
+  "CMakeFiles/test_crash_property.dir/test_crash_property.cc.o.d"
+  "test_crash_property"
+  "test_crash_property.pdb"
+  "test_crash_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crash_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

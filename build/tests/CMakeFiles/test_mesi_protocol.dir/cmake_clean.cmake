@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mesi_protocol.dir/test_mesi_protocol.cc.o"
+  "CMakeFiles/test_mesi_protocol.dir/test_mesi_protocol.cc.o.d"
+  "test_mesi_protocol"
+  "test_mesi_protocol.pdb"
+  "test_mesi_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mesi_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mesi_random.dir/test_mesi_random.cc.o"
+  "CMakeFiles/test_mesi_random.dir/test_mesi_random.cc.o.d"
+  "test_mesi_random"
+  "test_mesi_random.pdb"
+  "test_mesi_random[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mesi_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

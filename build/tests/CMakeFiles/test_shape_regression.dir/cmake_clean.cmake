@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shape_regression.dir/test_shape_regression.cc.o"
+  "CMakeFiles/test_shape_regression.dir/test_shape_regression.cc.o.d"
+  "test_shape_regression"
+  "test_shape_regression.pdb"
+  "test_shape_regression[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shape_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_slc_protocol.cc" "tests/CMakeFiles/test_slc_protocol.dir/test_slc_protocol.cc.o" "gcc" "tests/CMakeFiles/test_slc_protocol.dir/test_slc_protocol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tsoper_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsoper_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsoper_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsoper_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsoper_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsoper_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slc_protocol.dir/test_slc_protocol.cc.o"
+  "CMakeFiles/test_slc_protocol.dir/test_slc_protocol.cc.o.d"
+  "test_slc_protocol"
+  "test_slc_protocol.pdb"
+  "test_slc_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slc_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

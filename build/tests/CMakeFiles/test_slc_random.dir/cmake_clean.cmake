@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slc_random.dir/test_slc_random.cc.o"
+  "CMakeFiles/test_slc_random.dir/test_slc_random.cc.o.d"
+  "test_slc_random"
+  "test_slc_random.pdb"
+  "test_slc_random[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slc_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_store_log.dir/test_store_log.cc.o"
+  "CMakeFiles/test_store_log.dir/test_store_log.cc.o.d"
+  "test_store_log"
+  "test_store_log.pdb"
+  "test_store_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_store_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_smoke.dir/test_system_smoke.cc.o"
+  "CMakeFiles/test_system_smoke.dir/test_system_smoke.cc.o.d"
+  "test_system_smoke"
+  "test_system_smoke.pdb"
+  "test_system_smoke[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsoper_cli.dir/tsoper_sim.cc.o"
+  "CMakeFiles/tsoper_cli.dir/tsoper_sim.cc.o.d"
+  "tsoper_sim"
+  "tsoper_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsoper_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
