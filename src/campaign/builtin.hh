@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Built-in campaigns: named, ready-to-run specs for the sweeps the
+ * repo cares about — the paper's Fig. 11/12/13 grids, the crash-sweep
+ * fault-injection matrices, and the tiny smoke grid CI runs.
+ *
+ * `tsoper_campaign --campaign=<name>` resolves names through this
+ * table; docs/campaigns.md documents each campaign's intent.
+ */
+
+#ifndef TSOPER_CAMPAIGN_BUILTIN_HH
+#define TSOPER_CAMPAIGN_BUILTIN_HH
+
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hh"
+
+namespace tsoper::campaign
+{
+
+struct BuiltinCampaign
+{
+    std::string name;
+    std::string description;
+    CampaignSpec spec;
+};
+
+/** All built-in campaigns, in documentation order. */
+const std::vector<BuiltinCampaign> &builtinCampaigns();
+
+/** Lookup by name; nullptr if unknown. */
+const BuiltinCampaign *findBuiltinCampaign(const std::string &name);
+
+} // namespace tsoper::campaign
+
+#endif // TSOPER_CAMPAIGN_BUILTIN_HH

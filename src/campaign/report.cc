@@ -1,0 +1,186 @@
+#include "campaign/report.hh"
+
+#include <fstream>
+#include <sstream>
+
+namespace tsoper::campaign
+{
+
+Json
+CellReport::toJson() const
+{
+    Json j = request.toJson();
+    j.set("status", Json(toString(result.status)))
+        .set("attempts", Json(attempts))
+        .set("wall_ms", Json(wallMs));
+    if (!result.detail.empty())
+        j.set("detail", Json(result.detail));
+    j.set("cycles", Json(result.cycles))
+        .set("drain_cycles", Json(result.drainCycles));
+    if (result.crashCycle)
+        j.set("crash_cycle", Json(result.crashCycle));
+    j.set("ops", Json(result.ops)).set("stores", Json(result.stores));
+    if (result.audited) {
+        Json audit = Json::object();
+        audit.set("durable_lines", Json(result.durableLines))
+            .set("durable_words", Json(result.durableWords))
+            .set("buffer_recovered_lines",
+                 Json(result.bufferRecoveredLines))
+            .set("required_stores", Json(result.requiredStores))
+            .set("ok", Json(result.status != RunStatus::CheckFailed));
+        j.set("audit", std::move(audit));
+    }
+    j.set("stats", result.stats);
+    return j;
+}
+
+std::size_t
+CampaignReport::count(RunStatus status) const
+{
+    std::size_t n = 0;
+    for (const CellReport &c : cells)
+        if (c.result.status == status)
+            ++n;
+    return n;
+}
+
+bool
+CampaignReport::allOk() const
+{
+    for (const CellReport &c : cells)
+        if (c.result.status != RunStatus::Ok)
+            return false;
+    return true;
+}
+
+std::string
+CampaignReport::summary() const
+{
+    std::ostringstream os;
+    os << cells.size() << " cells:";
+    bool any = false;
+    for (RunStatus s : {RunStatus::Ok, RunStatus::CheckFailed,
+                        RunStatus::Timeout, RunStatus::Crashed,
+                        RunStatus::BadRequest}) {
+        const std::size_t n = count(s);
+        if (!n)
+            continue;
+        os << (any ? ", " : " ") << n << " " << toString(s);
+        any = true;
+    }
+    if (!any)
+        os << " none";
+    return os.str();
+}
+
+Json
+CampaignReport::toJson() const
+{
+    Json totals = Json::object();
+    totals.set("cells", Json(static_cast<std::uint64_t>(cells.size())));
+    for (RunStatus s : {RunStatus::Ok, RunStatus::CheckFailed,
+                        RunStatus::Timeout, RunStatus::Crashed,
+                        RunStatus::BadRequest})
+        totals.set(toString(s),
+                   Json(static_cast<std::uint64_t>(count(s))));
+
+    Json cellArr = Json::array();
+    for (const CellReport &c : cells)
+        cellArr.push(c.toJson());
+
+    Json j = Json::object();
+    j.set("campaign", Json(name))
+        .set("jobs", Json(jobs))
+        .set("wall_ms", Json(wallMs))
+        .set("totals", std::move(totals))
+        .set("cells", std::move(cellArr));
+    return j;
+}
+
+bool
+writeReportFile(const CampaignReport &report, const std::string &path,
+                std::string *err)
+{
+    std::ofstream os(path);
+    if (!os) {
+        if (err)
+            *err = "cannot open for writing: " + path;
+        return false;
+    }
+    os << report.toJson().dump(2) << "\n";
+    os.flush();
+    if (!os) {
+        if (err)
+            *err = "I/O error writing: " + path;
+        return false;
+    }
+    return true;
+}
+
+bool
+verifyReportFile(const std::string &path, bool requireAllOk,
+                 std::string *err)
+{
+    std::ifstream is(path);
+    if (!is) {
+        if (err)
+            *err = "cannot open: " + path;
+        return false;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+
+    Json doc;
+    std::string parseErr;
+    if (!Json::parse(buf.str(), &doc, &parseErr)) {
+        if (err)
+            *err = path + ": " + parseErr;
+        return false;
+    }
+    const Json *totals = doc.find("totals");
+    const Json *cellArr = doc.find("cells");
+    if (!totals || !totals->isObject() || !cellArr ||
+        !cellArr->isArray()) {
+        if (err)
+            *err = path + ": missing totals/cells";
+        return false;
+    }
+    const Json *cellTotal = totals->find("cells");
+    if (!cellTotal || !cellTotal->isNumber() ||
+        cellTotal->asUint() != cellArr->size()) {
+        if (err)
+            *err = path + ": totals.cells disagrees with cell list";
+        return false;
+    }
+    std::size_t ok = 0;
+    for (std::size_t i = 0; i < cellArr->size(); ++i) {
+        const Json &cell = cellArr->at(i);
+        const Json *status = cell.find("status");
+        if (!status || !status->isString()) {
+            if (err)
+                *err = path + ": cell " + std::to_string(i) +
+                       " has no status";
+            return false;
+        }
+        if (status->asString() == toString(RunStatus::Ok))
+            ++ok;
+        else if (requireAllOk) {
+            const Json *id = cell.find("id");
+            if (err)
+                *err = path + ": cell " +
+                       (id && id->isString() ? id->asString()
+                                             : std::to_string(i)) +
+                       " is " + status->asString();
+            return false;
+        }
+    }
+    const Json *okTotal = totals->find(toString(RunStatus::Ok));
+    if (!okTotal || !okTotal->isNumber() || okTotal->asUint() != ok) {
+        if (err)
+            *err = path + ": totals.ok disagrees with cell statuses";
+        return false;
+    }
+    return true;
+}
+
+} // namespace tsoper::campaign

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Campaign report: the aggregated outcome of every cell, serialized
+ * to a single JSON artifact (BENCH_campaign.json).
+ *
+ * Cells appear in spec-expansion order regardless of the order the
+ * pool finished them, and everything derived from the simulation
+ * (status, cycles, audit, stats) is deterministic given the spec —
+ * only the "wall_ms"/"attempts" bookkeeping fields vary between runs.
+ * See docs/campaigns.md for the schema.
+ */
+
+#ifndef TSOPER_CAMPAIGN_REPORT_HH
+#define TSOPER_CAMPAIGN_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "campaign/run_request.hh"
+#include "sim/json.hh"
+
+namespace tsoper::campaign
+{
+
+/** One executed cell. */
+struct CellReport
+{
+    RunRequest request;
+    RunResult result;
+    unsigned attempts = 1;  ///< 1 + retries actually taken.
+    double wallMs = 0.0;    ///< Wall-clock of the final attempt.
+
+    Json toJson() const;
+};
+
+struct CampaignReport
+{
+    std::string name;
+    unsigned jobs = 1;
+    double wallMs = 0.0; ///< End-to-end campaign wall-clock.
+    std::vector<CellReport> cells; ///< Spec-expansion order.
+
+    std::size_t count(RunStatus status) const;
+
+    /** Every cell finished RunStatus::Ok. */
+    bool allOk() const;
+
+    /** One-line outcome: "54 cells: 52 ok, 1 check-failed, 1 timeout". */
+    std::string summary() const;
+
+    Json toJson() const;
+};
+
+/**
+ * Write @p report.toJson() to @p path (pretty-printed, trailing
+ * newline).  Returns false with a message in @p err on I/O failure.
+ */
+bool writeReportFile(const CampaignReport &report,
+                     const std::string &path, std::string *err);
+
+/**
+ * Re-read a report artifact and verify it: parses as JSON, totals
+ * match the cell list, and (when @p requireAllOk) no cell failed.
+ * Used by `tsoper_campaign --verify-out` and the campaign_smoke test.
+ */
+bool verifyReportFile(const std::string &path, bool requireAllOk,
+                      std::string *err);
+
+} // namespace tsoper::campaign
+
+#endif // TSOPER_CAMPAIGN_REPORT_HH

@@ -1,0 +1,169 @@
+#include "campaign/run_request.hh"
+
+#include <exception>
+
+#include "core/recovery.hh"
+#include "core/system.hh"
+#include "sim/stats_json.hh"
+#include "workload/generators.hh"
+#include "workload/trace_io.hh"
+
+namespace tsoper::campaign
+{
+
+const char *
+toString(RunStatus status)
+{
+    switch (status) {
+      case RunStatus::Ok:          return "ok";
+      case RunStatus::CheckFailed: return "check-failed";
+      case RunStatus::Timeout:     return "timeout";
+      case RunStatus::Crashed:     return "crashed";
+      case RunStatus::BadRequest:  return "bad-request";
+    }
+    return "?";
+}
+
+Json
+RunRequest::toJson() const
+{
+    Json j = Json::object();
+    j.set("id", Json(id))
+        .set("engine", Json(engine))
+        .set("bench", Json(bench))
+        .set("scale", Json(scale))
+        .set("seed", Json(seed))
+        .set("cores", Json(cores));
+    if (!traceFile.empty())
+        j.set("trace", Json(traceFile));
+    if (agMaxLines)
+        j.set("ag_max_lines", Json(agMaxLines));
+    if (agbSliceLines)
+        j.set("agb_slice_lines", Json(agbSliceLines));
+    if (crashAt > 0.0)
+        j.set("crash_at", Json(crashAt));
+    j.set("check", Json(check));
+    return j;
+}
+
+bool
+resolveConfig(const RunRequest &r, SystemConfig *cfg, std::string *err)
+{
+    EngineKind engine;
+    ProtocolKind protocol;
+    if (!engineFromName(r.engine, &engine, &protocol)) {
+        if (err)
+            *err = "unknown engine: " + r.engine;
+        return false;
+    }
+    *cfg = makeConfig(engine);
+    cfg->protocol = protocol; // only differs for baseline-mesi
+    cfg->numCores = r.cores;
+    if (r.cores > 8) {
+        cfg->meshCols = 6;
+        cfg->meshRows = (r.cores + cfg->llcBanks + 5) / 6;
+    }
+    if (r.agMaxLines)
+        cfg->agMaxLines = r.agMaxLines;
+    if (r.agbSliceLines)
+        cfg->agbSliceLines = r.agbSliceLines;
+    cfg->recordStores = r.check;
+    cfg->seed = r.seed;
+    return true;
+}
+
+namespace
+{
+
+void
+fillAudit(RunResult *res, const RecoveryReport &report)
+{
+    res->recoverySummary = report.summary();
+    res->audited = report.audited;
+    res->durableLines = report.durableLines;
+    res->durableWords = report.durableWords;
+    res->bufferRecoveredLines = report.bufferRecoveredLines;
+    res->requiredStores = report.consistency.requiredStores;
+    if (report.audited && !report.consistency.ok) {
+        res->status = RunStatus::CheckFailed;
+        res->detail = report.consistency.detail;
+    }
+}
+
+} // namespace
+
+RunResult
+runOne(const RunRequest &r, const RunHooks &hooks)
+{
+    RunResult res;
+    SystemConfig cfg;
+    if (!resolveConfig(r, &cfg, &res.detail))
+        return res; // BadRequest: unknown engine
+
+    if (r.traceFile.empty() && !findProfile(r.bench)) {
+        res.detail = "unknown benchmark: " + r.bench;
+        return res;
+    }
+
+    Workload w;
+    try {
+        w = r.traceFile.empty()
+                ? generateByName(r.bench, cfg.numCores, r.seed, r.scale)
+                : loadWorkloadFile(r.traceFile);
+    } catch (const std::exception &e) {
+        res.detail = e.what(); // BadRequest: workload did not build
+        return res;
+    }
+    std::string error;
+    if (!validateWorkload(w, &error)) {
+        res.detail = "invalid workload: " + error;
+        return res;
+    }
+    res.ops = w.totalOps();
+    res.stores = w.totalStores();
+
+    try {
+        const PersistModel model = cfg.engine == EngineKind::HwRp
+                                       ? PersistModel::RelaxedSfr
+                                       : PersistModel::StrictTso;
+
+        if (r.crashAt > 0.0) {
+            Cycle crashCycle = static_cast<Cycle>(r.crashAt);
+            if (r.crashAt <= 1.0) {
+                System timing(cfg, w);
+                const Cycle full = timing.run(r.maxCycles);
+                crashCycle = static_cast<Cycle>(
+                    static_cast<double>(full) * r.crashAt);
+                res.cycles = full;
+                res.drainCycles =
+                    timing.stats().get("sys.drain_cycles");
+            }
+            System sys(cfg, w);
+            sys.runUntilCrash(crashCycle);
+            res.crashCycle = crashCycle;
+            res.status = RunStatus::Ok;
+            fillAudit(&res, recover(sys, model));
+            res.stats = statsToJson(sys.stats());
+            if (hooks.onFinished)
+                hooks.onFinished(sys);
+            return res;
+        }
+
+        System sys(cfg, w);
+        res.cycles = sys.run(r.maxCycles);
+        res.drainCycles = sys.stats().get("sys.drain_cycles");
+        res.status = RunStatus::Ok;
+        if (r.check)
+            fillAudit(&res, recover(sys, model));
+        res.stats = statsToJson(sys.stats());
+        if (hooks.onFinished)
+            hooks.onFinished(sys);
+        return res;
+    } catch (const std::exception &e) {
+        res.status = RunStatus::Crashed;
+        res.detail = e.what();
+        return res;
+    }
+}
+
+} // namespace tsoper::campaign

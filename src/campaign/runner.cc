@@ -1,0 +1,133 @@
+#include "campaign/runner.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <future>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+#include "campaign/thread_pool.hh"
+
+namespace tsoper::campaign
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+/** One attempt with a wall-clock budget. */
+RunResult
+attemptWithTimeout(const RunRequest &request,
+                   const std::function<RunResult(const RunRequest &)> &fn,
+                   std::chrono::milliseconds timeout)
+{
+    if (timeout.count() <= 0)
+        return fn(request);
+
+    std::packaged_task<RunResult()> task(
+        [&fn, request] { return fn(request); });
+    std::future<RunResult> future = task.get_future();
+    std::thread worker(std::move(task));
+    if (future.wait_for(timeout) == std::future_status::ready) {
+        worker.join();
+        return future.get();
+    }
+    // The attempt overran its budget.  A simulation has no safe
+    // preemption point, so the thread is abandoned; whatever it
+    // eventually produces is dropped with the discarded future.
+    worker.detach();
+    RunResult result;
+    result.status = RunStatus::Timeout;
+    result.detail = "exceeded " + std::to_string(timeout.count()) +
+                    " ms wall-clock budget";
+    return result;
+}
+
+bool
+retryable(RunStatus status)
+{
+    return status == RunStatus::Timeout || status == RunStatus::Crashed;
+}
+
+} // namespace
+
+CellReport
+runCell(const RunRequest &request, const RunnerOptions &opt)
+{
+    const std::function<RunResult(const RunRequest &)> fn =
+        opt.cellFn ? opt.cellFn
+                   : [](const RunRequest &r) { return runOne(r); };
+
+    CellReport cell;
+    cell.request = request;
+    for (unsigned attempt = 0;; ++attempt) {
+        const Clock::time_point start = Clock::now();
+        cell.result = attemptWithTimeout(request, fn, opt.timeout);
+        cell.wallMs = msSince(start);
+        cell.attempts = attempt + 1;
+        if (!retryable(cell.result.status) || attempt >= opt.retries)
+            return cell;
+    }
+}
+
+CampaignReport
+runCampaign(const std::string &name,
+            const std::vector<RunRequest> &cells,
+            const RunnerOptions &opt)
+{
+    CampaignReport report;
+    report.name = name;
+    report.cells.resize(cells.size());
+    unsigned jobs = opt.jobs ? opt.jobs
+                             : std::thread::hardware_concurrency();
+    if (jobs == 0)
+        jobs = 1;
+    report.jobs = jobs;
+
+    const Clock::time_point start = Clock::now();
+    std::atomic<std::size_t> done{0};
+    std::mutex progressMutex;
+
+    {
+        ThreadPool pool(jobs);
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            pool.submit([&, i] {
+                CellReport cell = runCell(cells[i], opt);
+                const std::size_t finished =
+                    done.fetch_add(1, std::memory_order_relaxed) + 1;
+                if (opt.progress) {
+                    std::lock_guard<std::mutex> lock(progressMutex);
+                    char head[64];
+                    std::snprintf(head, sizeof(head), "[%3zu/%zu] %-12s",
+                                  finished, cells.size(),
+                                  toString(cell.result.status));
+                    *opt.progress << head << " " << cell.request.id
+                                  << "  (" << static_cast<long>(
+                                         cell.wallMs)
+                                  << " ms";
+                    if (cell.attempts > 1)
+                        *opt.progress << ", " << cell.attempts
+                                      << " attempts";
+                    *opt.progress << ")\n" << std::flush;
+                }
+                report.cells[i] = std::move(cell);
+            });
+        }
+        pool.wait();
+    }
+
+    report.wallMs = msSince(start);
+    return report;
+}
+
+} // namespace tsoper::campaign

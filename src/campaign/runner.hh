@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Campaign runner: executes a list of run manifests on the
+ * work-stealing pool with per-cell wall-clock timeout, one (or more)
+ * retries on transient failure, and live progress reporting, then
+ * aggregates everything into a CampaignReport.
+ *
+ * Timeout semantics: each attempt runs on its own thread; if it does
+ * not finish within the budget the attempt is classified
+ * RunStatus::Timeout and its thread is detached (a simulation cannot
+ * be interrupted midway — the orphan finishes or dies with the
+ * process; its result is discarded).  Retries apply to Timeout and
+ * Crashed outcomes only: CheckFailed and BadRequest are deterministic
+ * verdicts and re-running them cannot change the answer.
+ */
+
+#ifndef TSOPER_CAMPAIGN_RUNNER_HH
+#define TSOPER_CAMPAIGN_RUNNER_HH
+
+#include <chrono>
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+#include "campaign/report.hh"
+#include "campaign/run_request.hh"
+
+namespace tsoper::campaign
+{
+
+struct RunnerOptions
+{
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    unsigned jobs = 0;
+
+    /** Per-attempt wall-clock budget; <= 0 disables the timeout. */
+    std::chrono::milliseconds timeout{120000};
+
+    /** Extra attempts after a Timeout/Crashed outcome. */
+    unsigned retries = 1;
+
+    /** Stream for live per-cell progress lines; nullptr = silent. */
+    std::ostream *progress = nullptr;
+
+    /** Cell executor; defaults to runOne().  Tests substitute fakes
+     *  (hung cells, flaky cells) to exercise timeout/retry. */
+    std::function<RunResult(const RunRequest &)> cellFn;
+};
+
+/**
+ * Run one cell under the timeout/retry policy (no pool involved);
+ * the building block runCampaign schedules, exposed for tests.
+ */
+CellReport runCell(const RunRequest &request, const RunnerOptions &opt);
+
+/**
+ * Execute @p cells in parallel and aggregate.  Cell order in the
+ * report matches @p cells regardless of completion order.
+ */
+CampaignReport runCampaign(const std::string &name,
+                           const std::vector<RunRequest> &cells,
+                           const RunnerOptions &opt);
+
+} // namespace tsoper::campaign
+
+#endif // TSOPER_CAMPAIGN_RUNNER_HH

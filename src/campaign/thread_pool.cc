@@ -1,0 +1,109 @@
+#include "campaign/thread_pool.hh"
+
+#include <chrono>
+
+namespace tsoper::campaign
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    const std::size_t target =
+        nextWorker_.fetch_add(1, std::memory_order_relaxed) %
+        workers_.size();
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+        workers_[target]->tasks.push_back(std::move(task));
+    }
+    workCv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idleCv_.wait(lock, [this] {
+        return pending_.load(std::memory_order_acquire) == 0;
+    });
+}
+
+bool
+ThreadPool::popOwn(unsigned self, Task *task)
+{
+    Worker &w = *workers_[self];
+    std::lock_guard<std::mutex> lock(w.mutex);
+    if (w.tasks.empty())
+        return false;
+    *task = std::move(w.tasks.back());
+    w.tasks.pop_back();
+    return true;
+}
+
+bool
+ThreadPool::stealOther(unsigned self, Task *task)
+{
+    const std::size_t n = workers_.size();
+    for (std::size_t i = 1; i < n; ++i) {
+        Worker &victim = *workers_[(self + i) % n];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (victim.tasks.empty())
+            continue;
+        *task = std::move(victim.tasks.front());
+        victim.tasks.pop_front();
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    while (true) {
+        Task task;
+        if (popOwn(self, &task) || stealOther(self, &task)) {
+            task();
+            if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                // Last pending task: wake wait()ers.  Take the lock so
+                // the notify cannot race between their predicate check
+                // and their sleep.
+                std::lock_guard<std::mutex> lock(mutex_);
+                idleCv_.notify_all();
+            }
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (stopping_)
+            return;
+        // Re-check the deques under the lock: a submit() may have
+        // slipped in between our scan and this wait.
+        workCv_.wait_for(lock, std::chrono::milliseconds(10));
+    }
+}
+
+} // namespace tsoper::campaign

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Work-stealing thread pool for campaign execution.
+ *
+ * Each worker owns a deque; submit() deals tasks round-robin across
+ * the deques, workers pop from their own back (LIFO, cache-warm) and
+ * steal from other workers' fronts (FIFO, oldest first) when theirs
+ * runs dry.  Tasks may submit further tasks.  wait() blocks until
+ * every submitted task has finished.
+ *
+ * The pool runs arbitrary std::function<void()> thunks — cell
+ * timeout/retry policy lives a layer above, in runner.cc — so tests
+ * can drive it with synthetic workloads.
+ */
+
+#ifndef TSOPER_CAMPAIGN_THREAD_POOL_HH
+#define TSOPER_CAMPAIGN_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tsoper::campaign
+{
+
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** Spawn @p threads workers (at least one). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Waits for all pending tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p task; callable from any thread, including workers. */
+    void submit(Task task);
+
+    /** Block until every task submitted so far has completed. */
+    void wait();
+
+    unsigned threads() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Tasks stolen from another worker's deque (observability). */
+    std::uint64_t steals() const
+    {
+        return steals_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Worker
+    {
+        std::mutex mutex;
+        std::deque<Task> tasks;
+    };
+
+    void workerLoop(unsigned self);
+    bool popOwn(unsigned self, Task *task);
+    bool stealOther(unsigned self, Task *task);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+
+    std::mutex mutex_; ///< Guards sleeping/waiting bookkeeping.
+    std::condition_variable workCv_; ///< Signals arriving tasks.
+    std::condition_variable idleCv_; ///< Signals pending_ hitting 0.
+    std::atomic<std::uint64_t> pending_{0}; ///< Submitted, not finished.
+    std::atomic<std::uint64_t> steals_{0};
+    std::atomic<std::size_t> nextWorker_{0}; ///< Round-robin dealing.
+    bool stopping_ = false; // under mutex_
+};
+
+} // namespace tsoper::campaign
+
+#endif // TSOPER_CAMPAIGN_THREAD_POOL_HH

@@ -32,6 +32,46 @@ toString(EngineKind kind)
     return "?";
 }
 
+bool
+engineFromName(const std::string &name, EngineKind *engine,
+               ProtocolKind *protocol)
+{
+    // Every engine runs on SLC except BSP and the MESI baseline,
+    // mirroring makeConfig's pairing.
+    *protocol = ProtocolKind::Slc;
+    if (name == "baseline") {
+        *engine = EngineKind::None;
+    } else if (name == "baseline-mesi") {
+        *engine = EngineKind::None;
+        *protocol = ProtocolKind::Mesi;
+    } else if (name == "hwrp") {
+        *engine = EngineKind::HwRp;
+    } else if (name == "bsp") {
+        *engine = EngineKind::Bsp;
+        *protocol = ProtocolKind::Mesi;
+    } else if (name == "bsp-slc") {
+        *engine = EngineKind::BspSlc;
+    } else if (name == "bsp-slc-agb") {
+        *engine = EngineKind::BspSlcAgb;
+    } else if (name == "stw") {
+        *engine = EngineKind::Stw;
+    } else if (name == "tsoper") {
+        *engine = EngineKind::Tsoper;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+const std::vector<std::string> &
+engineNames()
+{
+    static const std::vector<std::string> names = {
+        "baseline", "baseline-mesi", "hwrp", "bsp",
+        "bsp-slc",  "bsp-slc-agb",   "stw",  "tsoper"};
+    return names;
+}
+
 static bool
 isPow2(unsigned v)
 {

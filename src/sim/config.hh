@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "sim/types.hh"
 
@@ -37,6 +38,18 @@ enum class EngineKind
 
 const char *toString(ProtocolKind kind);
 const char *toString(EngineKind kind);
+
+/**
+ * Resolve a CLI engine name ("baseline", "baseline-mesi", "hwrp",
+ * "bsp", "bsp-slc", "bsp-slc-agb", "stw", "tsoper") to an EngineKind
+ * plus the protocol it runs on.  Returns false for unknown names
+ * (the shared non-fatal path for tsoper_sim and the campaign runner).
+ */
+bool engineFromName(const std::string &name, EngineKind *engine,
+                    ProtocolKind *protocol);
+
+/** All accepted engine names, in evaluation order. */
+const std::vector<std::string> &engineNames();
 
 struct SystemConfig
 {

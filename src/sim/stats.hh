@@ -148,6 +148,10 @@ class StatsRegistry
     {
         return histograms_;
     }
+    const std::map<std::string, TimeSeries> &series() const
+    {
+        return series_;
+    }
 
   private:
     std::map<std::string, Counter> counters_;

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * JSON import/export for the statistics registry.
+ *
+ * Serializes every counter, histogram and time series of a
+ * StatsRegistry into a Json document (and back), so simulation results
+ * can be stored as machine-readable artifacts and compared across
+ * runs.  The schema (see docs/campaigns.md for the full reference):
+ *
+ *   {
+ *     "counters":   {"<name>": <uint>, ...},
+ *     "histograms": {"<name>": {"samples": u, "total": u, "min": u,
+ *                               "max": u, "mean": f,
+ *                               "buckets": [[value, count], ...]},
+ *                    ...},
+ *     "series":     {"<name>": [[cycle, value], ...], ...}
+ *   }
+ *
+ * Maps are emitted in the registry's (sorted) name order and derived
+ * histogram moments are recomputed on import, so export -> import ->
+ * export is byte-identical.
+ */
+
+#ifndef TSOPER_SIM_STATS_JSON_HH
+#define TSOPER_SIM_STATS_JSON_HH
+
+#include <string>
+
+#include "sim/json.hh"
+#include "sim/stats.hh"
+
+namespace tsoper
+{
+
+/** Serialize @p reg into the schema above. */
+Json statsToJson(const StatsRegistry &reg);
+
+/**
+ * Rebuild a registry from a document produced by statsToJson.
+ * Entries are *added* into @p out (callers normally pass a fresh
+ * registry).  Returns false with a message in @p err when the
+ * document does not match the schema.
+ */
+bool statsFromJson(const Json &doc, StatsRegistry *out,
+                   std::string *err = nullptr);
+
+/** Convenience: statsToJson(reg).dump(indent). */
+std::string statsJsonText(const StatsRegistry &reg, int indent = 2);
+
+} // namespace tsoper
+
+#endif // TSOPER_SIM_STATS_JSON_HH

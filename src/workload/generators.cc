@@ -420,12 +420,20 @@ benchmarkNames()
     return names;
 }
 
-const Profile &
-profileByName(const std::string &name)
+const Profile *
+findProfile(const std::string &name)
 {
     for (const Profile &p : allProfiles())
         if (p.name == name)
-            return p;
+            return &p;
+    return nullptr;
+}
+
+const Profile &
+profileByName(const std::string &name)
+{
+    if (const Profile *p = findProfile(name))
+        return *p;
     tsoper_fatal("unknown benchmark profile: ", name);
 }
 

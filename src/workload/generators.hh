@@ -61,6 +61,9 @@ const std::vector<Profile> &allProfiles();
 /** Profile lookup by benchmark name; fatal if unknown. */
 const Profile &profileByName(const std::string &name);
 
+/** Profile lookup by benchmark name; nullptr if unknown. */
+const Profile *findProfile(const std::string &name);
+
 /** Names of all benchmarks in evaluation order. */
 std::vector<std::string> benchmarkNames();
 

@@ -1,0 +1,422 @@
+/** @file Tests for the campaign subsystem: spec expansion, the
+ *  work-stealing pool, timeout/retry classification, runOne, and
+ *  report aggregation. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "campaign/builtin.hh"
+#include "campaign/report.hh"
+#include "campaign/runner.hh"
+#include "campaign/spec.hh"
+#include "campaign/thread_pool.hh"
+
+using namespace tsoper;
+using namespace tsoper::campaign;
+
+// --- Spec expansion ---------------------------------------------------
+
+namespace
+{
+
+CampaignSpec
+smallSpec()
+{
+    CampaignSpec spec;
+    spec.name = "grid";
+    spec.engines = {"tsoper", "stw"};
+    spec.benches = {"radix", "dedup"};
+    spec.scales = {0.1};
+    spec.seeds = {1, 2};
+    spec.crashFractions = {0.25, 0.75};
+    spec.check = true;
+    return spec;
+}
+
+} // namespace
+
+TEST(CampaignSpec, ExpansionIsDeterministicAndComplete)
+{
+    const CampaignSpec spec = smallSpec();
+    EXPECT_EQ(spec.cellCount(), 16u);
+
+    const std::vector<RunRequest> a = expand(spec);
+    const std::vector<RunRequest> b = expand(spec);
+    ASSERT_EQ(a.size(), 16u);
+    EXPECT_EQ(a, b); // same spec -> byte-identical manifests
+
+    // Unique, stable ids; engine-major order.
+    std::set<std::string> ids;
+    for (const RunRequest &r : a)
+        ids.insert(r.id);
+    EXPECT_EQ(ids.size(), a.size());
+    EXPECT_EQ(a.front().id, "tsoper/radix/x0.1/s1/c0.25");
+    EXPECT_EQ(a.back().id, "stw/dedup/x0.1/s2/c0.75");
+}
+
+TEST(CampaignSpec, SeedsLandInManifests)
+{
+    CampaignSpec spec = smallSpec();
+    spec.crashFractions.clear();
+    const std::vector<RunRequest> cells = expand(spec);
+    ASSERT_EQ(cells.size(), 8u);
+    for (const RunRequest &r : cells) {
+        EXPECT_TRUE(r.seed == 1 || r.seed == 2) << r.id;
+        EXPECT_EQ(r.crashAt, 0.0);
+        EXPECT_TRUE(r.check);
+    }
+}
+
+TEST(CampaignSpec, Validation)
+{
+    EXPECT_EQ(validateSpec(smallSpec()), "");
+
+    CampaignSpec bad = smallSpec();
+    bad.engines = {"warp-drive"};
+    EXPECT_NE(validateSpec(bad).find("warp-drive"), std::string::npos);
+
+    bad = smallSpec();
+    bad.benches = {"pacman"};
+    EXPECT_NE(validateSpec(bad).find("pacman"), std::string::npos);
+
+    bad = smallSpec();
+    bad.crashFractions = {1.5};
+    EXPECT_NE(validateSpec(bad), "");
+
+    bad = smallSpec();
+    bad.scales = {0.0};
+    EXPECT_NE(validateSpec(bad), "");
+}
+
+TEST(CampaignSpec, ParsesTextFormat)
+{
+    const std::string text = R"(
+# nightly grid
+name            = nightly
+engines         = tsoper, stw
+benches         = radix, dedup
+scales          = 0.1, 0.5
+seeds           = 1, 2, 3
+crash-fractions = 0.5
+check           = true
+cores           = 4
+timeout-ms      = 9000
+retries         = 2
+)";
+    CampaignSpec spec;
+    std::string err;
+    ASSERT_TRUE(parseSpecText(text, &spec, &err)) << err;
+    EXPECT_EQ(spec.name, "nightly");
+    EXPECT_EQ(spec.engines,
+              (std::vector<std::string>{"tsoper", "stw"}));
+    EXPECT_EQ(spec.benches, (std::vector<std::string>{"radix", "dedup"}));
+    EXPECT_EQ(spec.scales, (std::vector<double>{0.1, 0.5}));
+    EXPECT_EQ(spec.seeds, (std::vector<std::uint64_t>{1, 2, 3}));
+    EXPECT_EQ(spec.crashFractions, (std::vector<double>{0.5}));
+    EXPECT_TRUE(spec.check);
+    EXPECT_EQ(spec.cores, 4u);
+    EXPECT_EQ(spec.timeoutMs, 9000u);
+    EXPECT_EQ(spec.retries, 2u);
+    EXPECT_EQ(validateSpec(spec), "");
+}
+
+TEST(CampaignSpec, ParseErrorsCarryLineNumbers)
+{
+    CampaignSpec spec;
+    std::string err;
+    EXPECT_FALSE(parseSpecText("engines tsoper", &spec, &err));
+    EXPECT_NE(err.find("line 1"), std::string::npos);
+    EXPECT_FALSE(parseSpecText("\nwibble = 3", &spec, &err));
+    EXPECT_NE(err.find("line 2"), std::string::npos);
+    EXPECT_FALSE(parseSpecText("seeds = one", &spec, &err));
+    EXPECT_FALSE(parseSpecText("check = maybe", &spec, &err));
+}
+
+TEST(CampaignSpec, BuiltinCampaignsAreValid)
+{
+    ASSERT_FALSE(builtinCampaigns().empty());
+    for (const BuiltinCampaign &c : builtinCampaigns()) {
+        EXPECT_EQ(validateSpec(c.spec), "") << c.name;
+        EXPECT_GE(c.spec.cellCount(), 4u) << c.name;
+    }
+    EXPECT_NE(findBuiltinCampaign("crash-matrix"), nullptr);
+    EXPECT_NE(findBuiltinCampaign("mini"), nullptr);
+    EXPECT_EQ(findBuiltinCampaign("nope"), nullptr);
+}
+
+// --- Thread pool ------------------------------------------------------
+
+TEST(ThreadPool, ExecutesEveryTaskExactlyOnceUnderContention)
+{
+    constexpr int kTasks = 500;
+    std::vector<std::atomic<int>> hits(kTasks);
+    for (auto &h : hits)
+        h.store(0);
+
+    ThreadPool pool(8);
+    for (int i = 0; i < kTasks; ++i)
+        pool.submit([&hits, i] {
+            // A tiny stagger so deques drain unevenly and stealing
+            // actually happens.
+            if (i % 7 == 0)
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+            hits[i].fetch_add(1);
+        });
+    pool.wait();
+
+    for (int i = 0; i < kTasks; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+}
+
+TEST(ThreadPool, TasksCanSubmitTasks)
+{
+    std::atomic<int> count{0};
+    ThreadPool pool(4);
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&] {
+            count.fetch_add(1);
+            pool.submit([&] { count.fetch_add(1); });
+        });
+    pool.wait();
+    EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    std::atomic<int> count{0};
+    ThreadPool pool(2);
+    pool.submit([&] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+    pool.submit([&] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 2);
+}
+
+// --- Timeout / retry classification ----------------------------------
+
+namespace
+{
+
+RunRequest
+fakeRequest(const std::string &id)
+{
+    RunRequest r;
+    r.id = id;
+    return r;
+}
+
+} // namespace
+
+TEST(Runner, HungCellClassifiesAsTimeoutAfterRetry)
+{
+    std::atomic<int> attempts{0};
+    RunnerOptions opt;
+    opt.timeout = std::chrono::milliseconds(25);
+    opt.retries = 1;
+    opt.cellFn = [&](const RunRequest &) {
+        attempts.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(400));
+        RunResult res;
+        res.status = RunStatus::Ok;
+        return res;
+    };
+
+    const CellReport cell = runCell(fakeRequest("hung"), opt);
+    EXPECT_EQ(cell.result.status, RunStatus::Timeout);
+    EXPECT_EQ(cell.attempts, 2u);
+    EXPECT_EQ(attempts.load(), 2);
+    EXPECT_NE(cell.result.detail.find("budget"), std::string::npos);
+    // Orphaned attempt threads outlive runCell; let them drain before
+    // their atomics go out of scope.
+    std::this_thread::sleep_for(std::chrono::milliseconds(900));
+}
+
+TEST(Runner, FlakyCellSucceedsOnRetry)
+{
+    std::atomic<int> attempts{0};
+    RunnerOptions opt;
+    opt.timeout = std::chrono::milliseconds(5000);
+    opt.retries = 1;
+    opt.cellFn = [&](const RunRequest &) {
+        RunResult res;
+        if (attempts.fetch_add(1) == 0) {
+            res.status = RunStatus::Crashed;
+            res.detail = "transient";
+        } else {
+            res.status = RunStatus::Ok;
+        }
+        return res;
+    };
+
+    const CellReport cell = runCell(fakeRequest("flaky"), opt);
+    EXPECT_EQ(cell.result.status, RunStatus::Ok);
+    EXPECT_EQ(cell.attempts, 2u);
+}
+
+TEST(Runner, DeterministicVerdictsAreNotRetried)
+{
+    std::atomic<int> attempts{0};
+    RunnerOptions opt;
+    opt.timeout = std::chrono::milliseconds(5000);
+    opt.retries = 3;
+    opt.cellFn = [&](const RunRequest &) {
+        attempts.fetch_add(1);
+        RunResult res;
+        res.status = RunStatus::CheckFailed;
+        return res;
+    };
+
+    const CellReport cell = runCell(fakeRequest("torn"), opt);
+    EXPECT_EQ(cell.result.status, RunStatus::CheckFailed);
+    EXPECT_EQ(cell.attempts, 1u);
+    EXPECT_EQ(attempts.load(), 1);
+}
+
+TEST(Runner, CampaignAggregatesInExpansionOrder)
+{
+    std::vector<RunRequest> cells;
+    for (int i = 0; i < 24; ++i)
+        cells.push_back(fakeRequest("cell" + std::to_string(i)));
+
+    RunnerOptions opt;
+    opt.jobs = 4;
+    opt.timeout = std::chrono::milliseconds(5000);
+    opt.cellFn = [](const RunRequest &r) {
+        // Finish out of order on purpose.
+        if (r.id == "cell0")
+            std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        RunResult res;
+        res.status = r.id == "cell7" ? RunStatus::Crashed
+                                     : RunStatus::Ok;
+        res.detail = r.id;
+        return res;
+    };
+
+    const CampaignReport report = runCampaign("order", cells, opt);
+    ASSERT_EQ(report.cells.size(), 24u);
+    for (int i = 0; i < 24; ++i)
+        EXPECT_EQ(report.cells[i].request.id,
+                  "cell" + std::to_string(i));
+    EXPECT_EQ(report.count(RunStatus::Ok), 23u);
+    EXPECT_EQ(report.count(RunStatus::Crashed), 1u);
+    EXPECT_FALSE(report.allOk());
+    EXPECT_NE(report.summary().find("23 ok"), std::string::npos);
+    EXPECT_NE(report.summary().find("1 crashed"), std::string::npos);
+}
+
+// --- runOne on the real simulator ------------------------------------
+
+TEST(RunOne, UnknownEngineAndBenchAreBadRequests)
+{
+    RunRequest r;
+    r.engine = "warp-drive";
+    RunResult res = runOne(r);
+    EXPECT_EQ(res.status, RunStatus::BadRequest);
+    EXPECT_NE(res.detail.find("warp-drive"), std::string::npos);
+
+    r = RunRequest{};
+    r.bench = "pacman";
+    res = runOne(r);
+    EXPECT_EQ(res.status, RunStatus::BadRequest);
+    EXPECT_NE(res.detail.find("pacman"), std::string::npos);
+}
+
+TEST(RunOne, TinyAuditedRunProducesStats)
+{
+    RunRequest r;
+    r.id = "tsoper/dedup/x0.05/s1";
+    r.bench = "dedup";
+    r.scale = 0.05;
+    r.check = true;
+    const RunResult res = runOne(r);
+    ASSERT_EQ(res.status, RunStatus::Ok) << res.detail;
+    EXPECT_GT(res.cycles, 0u);
+    EXPECT_GT(res.ops, 0u);
+    EXPECT_TRUE(res.audited);
+    EXPECT_GT(res.durableWords, 0u);
+    ASSERT_TRUE(res.stats.isObject());
+    EXPECT_GT(res.stats["counters"].size(), 0u);
+
+    // Determinism: the same request yields byte-identical stats.
+    const RunResult again = runOne(r);
+    EXPECT_EQ(again.stats.dump(), res.stats.dump());
+    EXPECT_EQ(again.cycles, res.cycles);
+}
+
+TEST(RunOne, CrashCellAuditsDurableState)
+{
+    RunRequest r;
+    r.engine = "stw";
+    r.bench = "dedup";
+    r.scale = 0.05;
+    r.crashAt = 0.5;
+    r.check = true;
+    const RunResult res = runOne(r);
+    ASSERT_EQ(res.status, RunStatus::Ok) << res.detail;
+    EXPECT_GT(res.crashCycle, 0u);
+    EXPECT_TRUE(res.audited);
+    EXPECT_FALSE(res.recoverySummary.empty());
+}
+
+// --- Report JSON ------------------------------------------------------
+
+TEST(Report, JsonRoundTripsThroughParser)
+{
+    std::vector<RunRequest> cells;
+    cells.push_back(fakeRequest("a"));
+    cells.push_back(fakeRequest("b"));
+
+    RunnerOptions opt;
+    opt.jobs = 2;
+    opt.cellFn = [](const RunRequest &) {
+        RunResult res;
+        res.status = RunStatus::Ok;
+        res.cycles = 1234;
+        res.stats = Json::object();
+        return res;
+    };
+    const CampaignReport report = runCampaign("rt", cells, opt);
+
+    Json doc;
+    ASSERT_TRUE(Json::parse(report.toJson().dump(2), &doc));
+    EXPECT_EQ(doc["campaign"].asString(), "rt");
+    EXPECT_EQ(doc["totals"]["cells"].asUint(), 2u);
+    EXPECT_EQ(doc["totals"]["ok"].asUint(), 2u);
+    EXPECT_EQ(doc["cells"].at(0)["id"].asString(), "a");
+    EXPECT_EQ(doc["cells"].at(0)["cycles"].asUint(), 1234u);
+}
+
+TEST(Report, WriteAndVerifyFile)
+{
+    const std::string path =
+        ::testing::TempDir() + "tsoper_report_test.json";
+
+    CampaignReport report;
+    report.name = "verify";
+    CellReport ok;
+    ok.request = fakeRequest("good");
+    ok.result.status = RunStatus::Ok;
+    report.cells.push_back(ok);
+
+    std::string err;
+    ASSERT_TRUE(writeReportFile(report, path, &err)) << err;
+    EXPECT_TRUE(verifyReportFile(path, /*requireAllOk=*/true, &err))
+        << err;
+
+    CellReport bad;
+    bad.request = fakeRequest("torn");
+    bad.result.status = RunStatus::CheckFailed;
+    report.cells.push_back(bad);
+    ASSERT_TRUE(writeReportFile(report, path, &err)) << err;
+    EXPECT_TRUE(verifyReportFile(path, /*requireAllOk=*/false, &err))
+        << err;
+    EXPECT_FALSE(verifyReportFile(path, /*requireAllOk=*/true, &err));
+    EXPECT_NE(err.find("torn"), std::string::npos);
+}

@@ -96,6 +96,49 @@ TEST(StatsRegistry, DumpContainsEntries)
     EXPECT_NE(out.find("y.hist.samples 1"), std::string::npos);
 }
 
+TEST(StatsRegistry, IterationApiSeesEveryInstrument)
+{
+    StatsRegistry reg;
+    reg.counter("c.one").inc(1);
+    reg.counter("c.two").inc(2);
+    reg.histogram("h.one").add(4, 3);
+    reg.timeSeries("s.one").sample(10, 0.5);
+    reg.timeSeries("s.two").sample(20, 1.5);
+
+    ASSERT_EQ(reg.counters().size(), 2u);
+    EXPECT_EQ(reg.counters().at("c.two").value(), 2u);
+
+    ASSERT_EQ(reg.histograms().size(), 1u);
+    EXPECT_EQ(reg.histograms().at("h.one").samples(), 3u);
+
+    ASSERT_EQ(reg.series().size(), 2u);
+    EXPECT_EQ(reg.series().at("s.one").points().size(), 1u);
+    EXPECT_DOUBLE_EQ(reg.series().at("s.two").points()[0].second, 1.5);
+
+    // std::map iteration is name-ordered, so exporters that walk these
+    // views produce stable output.
+    std::string last;
+    for (const auto &[name, counter] : reg.counters()) {
+        (void)counter;
+        EXPECT_LT(last, name);
+        last = name;
+    }
+}
+
+TEST(Histogram, PercentileWithWeightedBuckets)
+{
+    Histogram h;
+    h.add(1, 89);
+    h.add(10, 10);
+    h.add(1000, 1);
+    EXPECT_EQ(h.percentile(0.5), 1u);
+    EXPECT_EQ(h.percentile(0.9), 10u);
+    EXPECT_EQ(h.percentile(0.99), 10u);
+    EXPECT_EQ(h.percentile(1.0), 1000u);
+    // p <= 0 clamps to the smallest recorded value.
+    EXPECT_EQ(h.percentile(0.0), 1u);
+}
+
 TEST(TimeSeries, RecordsPoints)
 {
     TimeSeries ts;

@@ -2,6 +2,10 @@
  * @file
  * tsoper_sim — the command-line simulator driver.
  *
+ * A thin wrapper over campaign::runOne(): the option struct maps 1:1
+ * onto a campaign::RunRequest, so a CLI invocation and a campaign
+ * cell execute identical code paths (src/campaign/run_request.cc).
+ *
  *   tsoper_sim --engine=tsoper --bench=ocean_cp --scale=0.5 --stats
  *   tsoper_sim --engine=stw --trace=my.trace --crash-at=0.5 --check
  *   tsoper_sim --list-benchmarks
@@ -22,19 +26,33 @@
  *   --check                audit the durable state (strict TSO, or the
  *                          SFR contract for --engine=hwrp)
  *   --stats                dump all statistics
- *   --stats-out=<file>     write statistics to a file
+ *   --stats-out=<file>     write statistics to a file (text table)
+ *   --stats-json=<file>    write statistics to a file (JSON; schema in
+ *                          docs/campaigns.md)
  *   --save-trace=<file>    save the generated workload and exit
  *   --describe             print the configuration and exit
  *   --list-benchmarks      print available profiles and exit
+ *
+ * Exit codes (stable; the campaign runner and scripts classify on
+ * them — keep docs/campaigns.md in sync):
+ *   0  success (with --check / --crash-at: the audit passed)
+ *   1  consistency audit failed
+ *   2  usage error (unknown option or malformed value)
+ *   3  unknown --engine
+ *   4  unknown --bench
+ *   5  invalid workload (bad trace file or failed validation)
+ *   6  simulation error (internal panic/fatal, e.g. deadlock)
  */
 
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
-#include "core/recovery.hh"
+#include "campaign/run_request.hh"
 #include "core/system.hh"
+#include "sim/stats_json.hh"
 #include "workload/generators.hh"
 #include "workload/trace_io.hh"
 
@@ -43,20 +61,23 @@ using namespace tsoper;
 namespace
 {
 
+enum ExitCode
+{
+    ExitOk = 0,
+    ExitCheckFailed = 1,
+    ExitUsage = 2,
+    ExitUnknownEngine = 3,
+    ExitUnknownBench = 4,
+    ExitInvalidWorkload = 5,
+    ExitSimError = 6,
+};
+
 struct CliOptions
 {
-    std::string engine = "tsoper";
-    std::string bench = "ocean_cp";
-    std::string traceFile;
+    campaign::RunRequest run;
     std::string saveTrace;
     std::string statsOut;
-    double scale = 1.0;
-    std::uint64_t seed = 1;
-    unsigned cores = 8;
-    unsigned agMaxLines = 0;
-    unsigned agbSliceLines = 0;
-    double crashAt = 0.0;
-    bool check = false;
+    std::string statsJson;
     bool stats = false;
     bool describe = false;
     bool listBenchmarks = false;
@@ -69,34 +90,10 @@ usage(int code)
                 "[--scale=F] [--seed=N]\n"
                 "                  [--cores=N] [--crash-at=C] [--check] "
                 "[--stats] [--stats-out=F]\n"
-                "                  [--save-trace=F] [--describe] "
-                "[--list-benchmarks]\n");
+                "                  [--stats-json=F] [--save-trace=F] "
+                "[--describe]\n"
+                "                  [--list-benchmarks]\n");
     std::exit(code);
-}
-
-EngineKind
-parseEngine(const std::string &name, ProtocolKind *forceProtocol)
-{
-    if (name == "baseline")
-        return EngineKind::None;
-    if (name == "baseline-mesi") {
-        *forceProtocol = ProtocolKind::Mesi;
-        return EngineKind::None;
-    }
-    if (name == "hwrp")
-        return EngineKind::HwRp;
-    if (name == "bsp")
-        return EngineKind::Bsp;
-    if (name == "bsp-slc")
-        return EngineKind::BspSlc;
-    if (name == "bsp-slc-agb")
-        return EngineKind::BspSlcAgb;
-    if (name == "stw")
-        return EngineKind::Stw;
-    if (name == "tsoper")
-        return EngineKind::Tsoper;
-    std::fprintf(stderr, "unknown engine: %s\n", name.c_str());
-    usage(2);
 }
 
 CliOptions
@@ -108,44 +105,53 @@ parseCli(int argc, char **argv)
         auto val = [&](const char *prefix) -> std::string {
             return arg.substr(std::string(prefix).size());
         };
-        if (arg.rfind("--engine=", 0) == 0)
-            opt.engine = val("--engine=");
-        else if (arg.rfind("--bench=", 0) == 0)
-            opt.bench = val("--bench=");
-        else if (arg.rfind("--trace=", 0) == 0)
-            opt.traceFile = val("--trace=");
-        else if (arg.rfind("--save-trace=", 0) == 0)
-            opt.saveTrace = val("--save-trace=");
-        else if (arg.rfind("--stats-out=", 0) == 0)
-            opt.statsOut = val("--stats-out=");
-        else if (arg.rfind("--scale=", 0) == 0)
-            opt.scale = std::stod(val("--scale="));
-        else if (arg.rfind("--seed=", 0) == 0)
-            opt.seed = std::stoull(val("--seed="));
-        else if (arg.rfind("--cores=", 0) == 0)
-            opt.cores = static_cast<unsigned>(
-                std::stoul(val("--cores=")));
-        else if (arg.rfind("--ag-max-lines=", 0) == 0)
-            opt.agMaxLines = static_cast<unsigned>(
-                std::stoul(val("--ag-max-lines=")));
-        else if (arg.rfind("--agb-slice-lines=", 0) == 0)
-            opt.agbSliceLines = static_cast<unsigned>(
-                std::stoul(val("--agb-slice-lines=")));
-        else if (arg.rfind("--crash-at=", 0) == 0)
-            opt.crashAt = std::stod(val("--crash-at="));
-        else if (arg == "--check")
-            opt.check = true;
-        else if (arg == "--stats")
-            opt.stats = true;
-        else if (arg == "--describe")
-            opt.describe = true;
-        else if (arg == "--list-benchmarks")
-            opt.listBenchmarks = true;
-        else if (arg == "--help" || arg == "-h")
-            usage(0);
-        else {
-            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-            usage(2);
+        try {
+            if (arg.rfind("--engine=", 0) == 0)
+                opt.run.engine = val("--engine=");
+            else if (arg.rfind("--bench=", 0) == 0)
+                opt.run.bench = val("--bench=");
+            else if (arg.rfind("--trace=", 0) == 0)
+                opt.run.traceFile = val("--trace=");
+            else if (arg.rfind("--save-trace=", 0) == 0)
+                opt.saveTrace = val("--save-trace=");
+            else if (arg.rfind("--stats-out=", 0) == 0)
+                opt.statsOut = val("--stats-out=");
+            else if (arg.rfind("--stats-json=", 0) == 0)
+                opt.statsJson = val("--stats-json=");
+            else if (arg.rfind("--scale=", 0) == 0)
+                opt.run.scale = std::stod(val("--scale="));
+            else if (arg.rfind("--seed=", 0) == 0)
+                opt.run.seed = std::stoull(val("--seed="));
+            else if (arg.rfind("--cores=", 0) == 0)
+                opt.run.cores = static_cast<unsigned>(
+                    std::stoul(val("--cores=")));
+            else if (arg.rfind("--ag-max-lines=", 0) == 0)
+                opt.run.agMaxLines = static_cast<unsigned>(
+                    std::stoul(val("--ag-max-lines=")));
+            else if (arg.rfind("--agb-slice-lines=", 0) == 0)
+                opt.run.agbSliceLines = static_cast<unsigned>(
+                    std::stoul(val("--agb-slice-lines=")));
+            else if (arg.rfind("--crash-at=", 0) == 0)
+                opt.run.crashAt = std::stod(val("--crash-at="));
+            else if (arg == "--check")
+                opt.run.check = true;
+            else if (arg == "--stats")
+                opt.stats = true;
+            else if (arg == "--describe")
+                opt.describe = true;
+            else if (arg == "--list-benchmarks")
+                opt.listBenchmarks = true;
+            else if (arg == "--help" || arg == "-h")
+                usage(0);
+            else {
+                std::fprintf(stderr, "unknown option: %s\n",
+                             arg.c_str());
+                usage(ExitUsage);
+            }
+        } catch (const std::exception &) {
+            std::fprintf(stderr, "malformed value in %s\n",
+                         arg.c_str());
+            usage(ExitUsage);
         }
     }
     return opt;
@@ -164,95 +170,103 @@ main(int argc, char **argv)
                         "locks=%u\n",
                         p.name.c_str(), p.opsPerCore, p.writeFrac,
                         p.sharedFrac, p.numLocks);
-        return 0;
+        return ExitOk;
     }
 
-    ProtocolKind forced = ProtocolKind::Slc;
-    const EngineKind engine = parseEngine(opt.engine, &forced);
-    SystemConfig cfg = makeConfig(engine);
-    if (opt.engine == "baseline-mesi")
-        cfg.protocol = forced;
-    cfg.numCores = opt.cores;
-    if (opt.cores > 8) {
-        cfg.meshCols = 6;
-        cfg.meshRows = (opt.cores + cfg.llcBanks + 5) / 6;
+    // Resolve the engine up front: --describe and --save-trace need
+    // the config before any run, and unknown names must exit 3.
+    SystemConfig cfg;
+    std::string err;
+    if (!campaign::resolveConfig(opt.run, &cfg, &err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return ExitUnknownEngine;
     }
-    if (opt.agMaxLines)
-        cfg.agMaxLines = opt.agMaxLines;
-    if (opt.agbSliceLines)
-        cfg.agbSliceLines = opt.agbSliceLines;
-    cfg.recordStores = opt.check;
-    cfg.seed = opt.seed;
+    if (opt.run.traceFile.empty() && !findProfile(opt.run.bench)) {
+        std::fprintf(stderr, "unknown benchmark: %s\n",
+                     opt.run.bench.c_str());
+        return ExitUnknownBench;
+    }
 
     if (opt.describe) {
         cfg.describe(std::cout);
-        return 0;
+        return ExitOk;
     }
 
-    const Workload w =
-        opt.traceFile.empty()
-            ? generateByName(opt.bench, cfg.numCores, opt.seed,
-                             opt.scale)
-            : loadWorkloadFile(opt.traceFile);
-    std::string error;
-    if (!validateWorkload(w, &error)) {
-        std::fprintf(stderr, "invalid workload: %s\n", error.c_str());
-        return 1;
-    }
     if (!opt.saveTrace.empty()) {
-        saveWorkloadFile(w, opt.saveTrace);
-        std::printf("saved %zu-op workload to %s\n", w.totalOps(),
-                    opt.saveTrace.c_str());
-        return 0;
-    }
-
-    std::printf("engine=%s workload=%s ops=%zu stores=%zu cores=%u\n",
-                toString(cfg.engine), w.name.c_str(), w.totalOps(),
-                w.totalStores(), cfg.numCores);
-
-    if (opt.crashAt > 0.0) {
-        Cycle crashCycle = static_cast<Cycle>(opt.crashAt);
-        if (opt.crashAt <= 1.0) {
-            System timing(cfg, w);
-            const Cycle full = timing.run();
-            crashCycle = static_cast<Cycle>(
-                static_cast<double>(full) * opt.crashAt);
+        try {
+            const Workload w =
+                opt.run.traceFile.empty()
+                    ? generateByName(opt.run.bench, cfg.numCores,
+                                     opt.run.seed, opt.run.scale)
+                    : loadWorkloadFile(opt.run.traceFile);
+            saveWorkloadFile(w, opt.saveTrace);
+            std::printf("saved %zu-op workload to %s\n", w.totalOps(),
+                        opt.saveTrace.c_str());
+            return ExitOk;
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return ExitInvalidWorkload;
         }
-        System sys(cfg, w);
-        sys.runUntilCrash(crashCycle);
-        std::printf("crashed at cycle %llu\n",
-                    static_cast<unsigned long long>(crashCycle));
-        const PersistModel model = engine == EngineKind::HwRp
-                                       ? PersistModel::RelaxedSfr
-                                       : PersistModel::StrictTso;
-        const RecoveryReport report = recover(sys, model);
-        std::printf("%s\n", report.summary().c_str());
-        if (opt.stats)
-            sys.stats().dump(std::cout);
-        return (report.audited && !report.consistency.ok) ? 1 : 0;
     }
 
-    System sys(cfg, w);
-    const Cycle cycles = sys.run();
-    std::printf("finished in %llu cycles (+%llu drain)\n",
-                static_cast<unsigned long long>(cycles),
-                static_cast<unsigned long long>(
-                    sys.stats().get("sys.drain_cycles")));
-    if (opt.check) {
-        const PersistModel model = engine == EngineKind::HwRp
-                                       ? PersistModel::RelaxedSfr
-                                       : PersistModel::StrictTso;
-        const RecoveryReport report = recover(sys, model);
-        std::printf("%s\n", report.summary().c_str());
-        if (report.audited && !report.consistency.ok)
-            return 1;
+    // Capture the stats dumps inside the hook (the System is only
+    // alive there) but print them after the banner/result lines, in
+    // the seed CLI's output order.
+    std::string statsText;
+    campaign::RunHooks hooks;
+    hooks.onFinished = [&](System &sys) {
+        if (opt.stats) {
+            std::ostringstream os;
+            sys.stats().dump(os);
+            statsText = os.str();
+        }
+        if (!opt.statsOut.empty()) {
+            std::ofstream os(opt.statsOut);
+            sys.stats().dump(os);
+        }
+        if (!opt.statsJson.empty()) {
+            std::ofstream os(opt.statsJson);
+            os << statsJsonText(sys.stats()) << "\n";
+        }
+    };
+
+    const campaign::RunResult res = campaign::runOne(opt.run, hooks);
+
+    switch (res.status) {
+      case campaign::RunStatus::BadRequest:
+        std::fprintf(stderr, "%s\n", res.detail.c_str());
+        return ExitInvalidWorkload;
+      case campaign::RunStatus::Crashed:
+        std::fprintf(stderr, "%s\n", res.detail.c_str());
+        return ExitSimError;
+      default:
+        break;
     }
+
+    std::printf("engine=%s workload=%s ops=%llu stores=%llu cores=%u\n",
+                toString(cfg.engine),
+                opt.run.traceFile.empty() ? opt.run.bench.c_str()
+                                          : opt.run.traceFile.c_str(),
+                static_cast<unsigned long long>(res.ops),
+                static_cast<unsigned long long>(res.stores),
+                cfg.numCores);
+    if (opt.run.crashAt > 0.0)
+        std::printf("crashed at cycle %llu\n",
+                    static_cast<unsigned long long>(res.crashCycle));
+    else
+        std::printf("finished in %llu cycles (+%llu drain)\n",
+                    static_cast<unsigned long long>(res.cycles),
+                    static_cast<unsigned long long>(res.drainCycles));
+    if (!res.recoverySummary.empty())
+        std::printf("%s\n", res.recoverySummary.c_str());
     if (opt.stats)
-        sys.stats().dump(std::cout);
-    if (!opt.statsOut.empty()) {
-        std::ofstream os(opt.statsOut);
-        sys.stats().dump(os);
+        std::fputs(statsText.c_str(), stdout);
+    if (!opt.statsOut.empty())
         std::printf("stats written to %s\n", opt.statsOut.c_str());
-    }
-    return 0;
+    if (!opt.statsJson.empty())
+        std::printf("stats written to %s\n", opt.statsJson.c_str());
+
+    return res.status == campaign::RunStatus::CheckFailed
+               ? ExitCheckFailed
+               : ExitOk;
 }
