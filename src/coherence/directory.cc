@@ -15,7 +15,7 @@ LineSerializer::submit(LineAddr line, Body body)
         state.queue.push_back(std::move(body));
         return;
     }
-    dispatch(line, std::move(body));
+    dispatch(line, state, std::move(body));
 }
 
 bool
@@ -26,9 +26,10 @@ LineSerializer::busy(LineAddr line) const
 }
 
 void
-LineSerializer::dispatch(LineAddr line, Body body)
+LineSerializer::dispatch(LineAddr line, LineState &state, Body body)
 {
-    LineState &state = lines_[line];
+    // state may dangle once the body runs (a body that submits can
+    // rehash lines_), so finish with it before calling the body.
     state.busy = true;
     const Cycle releaseAt = body(eq_.now());
     tsoper_assert(releaseAt >= eq_.now(), "transaction released in the past");
@@ -42,13 +43,14 @@ LineSerializer::release(LineAddr line)
     tsoper_assert(it != lines_.end() && it->second.busy,
                   "release of idle line");
     if (it->second.queue.empty()) {
+        // Erase idle lines: lines_ stays bounded by in-flight
+        // transactions instead of growing with the address footprint.
         lines_.erase(it);
         return;
     }
     Body next = std::move(it->second.queue.front());
     it->second.queue.pop_front();
-    it->second.busy = false;
-    dispatch(line, std::move(next));
+    dispatch(line, it->second, std::move(next));
 }
 
 DirectoryCapacity::DirectoryCapacity(unsigned entriesPerBank, unsigned banks,
@@ -86,12 +88,14 @@ DirectoryCapacity::evictBufferEnter(LineAddr line)
 {
     evictBuffer_[line] = true;
     evictBufferHist_.add(evictBuffer_.size());
-    if (evictBuffer_.size() > evictBufferCap_) {
-        // The paper sizes this buffer so it never backpressures
-        // (footnote: directory evictions are rare); we surface overflow
-        // as a statistic rather than deadlocking the protocol.
-        evictBufferHist_.add(evictBuffer_.size());
-    }
+    // The paper sizes this buffer so it never backpressures (footnote:
+    // directory evictions are rare).  The model has no backpressure
+    // path, so exceeding the cap would silently simulate impossible
+    // hardware — make it a hard invariant instead.
+    tsoper_assert(evictBuffer_.size() <= evictBufferCap_,
+                  "directory eviction buffer over capacity: ",
+                  evictBuffer_.size(), " entries, cap ",
+                  evictBufferCap_);
 }
 
 void

@@ -44,6 +44,14 @@ class LineSerializer
 
     bool busy(LineAddr line) const;
 
+    /**
+     * Lines currently tracked (busy or queued).  Idle lines are erased
+     * on release, so this is bounded by the in-flight transaction
+     * count, not by the address footprint of the run — long campaigns
+     * must not grow it monotonically (asserted in test_directory).
+     */
+    std::size_t trackedLines() const { return lines_.size(); }
+
   private:
     struct LineState
     {
@@ -51,7 +59,7 @@ class LineSerializer
         std::deque<Body> queue;
     };
 
-    void dispatch(LineAddr line, Body body);
+    void dispatch(LineAddr line, LineState &state, Body body);
     void release(LineAddr line);
 
     EventQueue &eq_;

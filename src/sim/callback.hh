@@ -1,0 +1,147 @@
+/**
+ * @file
+ * InlineCallback: a move-only, allocation-free replacement for
+ * std::function<void()> on the event kernel's hot path.
+ *
+ * std::function heap-allocates any capture larger than its small
+ * buffer (16 bytes on libstdc++) — and nearly every event in this
+ * simulator captures at least (this, line, continuation), so the seed
+ * kernel paid one malloc/free per scheduled event.  InlineCallback
+ * stores the callable in fixed in-place storage sized for the largest
+ * capture in src/ (Nvm::write's completion event: this + line + a full
+ * cacheline of words + a std::function continuation + a cycle).  A
+ * capture that does not fit is a compile error, not a silent
+ * allocation: grow `capacity` deliberately or shrink the capture.
+ */
+
+#ifndef TSOPER_SIM_CALLBACK_HH
+#define TSOPER_SIM_CALLBACK_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tsoper
+{
+
+class InlineCallback
+{
+  public:
+    /** In-place storage, in bytes.  Sized for the largest capture on
+     *  the event path (nvm.cc: 120 bytes); see canHold<F>. */
+    static constexpr std::size_t capacity = 120;
+
+    /** Whether a callable of type @p F fits the in-place storage;
+     *  the constructor static_asserts this, tests assert both ways. */
+    template <typename F>
+    static constexpr bool canHold =
+        sizeof(std::decay_t<F>) <= capacity &&
+        alignof(std::decay_t<F>) <= alignof(std::max_align_t);
+
+    InlineCallback() = default;
+
+    template <typename F, typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, InlineCallback> &&
+                  std::is_invocable_r_v<void, D &>>>
+    InlineCallback(F &&fn) // NOLINT: implicit, mirrors std::function
+    {
+        static_assert(sizeof(D) <= capacity,
+                      "lambda capture exceeds InlineCallback::capacity; "
+                      "shrink the capture or grow the storage "
+                      "deliberately (sim/callback.hh)");
+        static_assert(alignof(D) <= alignof(std::max_align_t),
+                      "over-aligned capture in InlineCallback");
+        static_assert(std::is_nothrow_move_constructible_v<D>,
+                      "InlineCallback requires nothrow-movable "
+                      "callables (events relocate between buckets)");
+        ::new (static_cast<void *>(storage_)) D(std::forward<F>(fn));
+        ops_ = &OpsImpl<D>::ops;
+    }
+
+    InlineCallback(InlineCallback &&other) noexcept
+    {
+        moveFrom(std::move(other));
+    }
+
+    InlineCallback &
+    operator=(InlineCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(std::move(other));
+        }
+        return *this;
+    }
+
+    InlineCallback(const InlineCallback &) = delete;
+    InlineCallback &operator=(const InlineCallback &) = delete;
+
+    ~InlineCallback() { reset(); }
+
+    void
+    operator()()
+    {
+        ops_->invoke(storage_);
+    }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *self);
+        /** Move-construct dst from src, then destroy src. */
+        void (*relocate)(void *src, void *dst) noexcept;
+        void (*destroy)(void *self) noexcept;
+    };
+
+    template <typename D>
+    struct OpsImpl
+    {
+        static void
+        invoke(void *self)
+        {
+            (*static_cast<D *>(self))();
+        }
+        static void
+        relocate(void *src, void *dst) noexcept
+        {
+            ::new (dst) D(std::move(*static_cast<D *>(src)));
+            static_cast<D *>(src)->~D();
+        }
+        static void
+        destroy(void *self) noexcept
+        {
+            static_cast<D *>(self)->~D();
+        }
+        static constexpr Ops ops{&invoke, &relocate, &destroy};
+    };
+
+    void
+    moveFrom(InlineCallback &&other) noexcept
+    {
+        if (other.ops_) {
+            other.ops_->relocate(other.storage_, storage_);
+            ops_ = other.ops_;
+            other.ops_ = nullptr;
+        }
+    }
+
+    void
+    reset() noexcept
+    {
+        if (ops_) {
+            ops_->destroy(storage_);
+            ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) std::byte storage_[capacity];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace tsoper
+
+#endif // TSOPER_SIM_CALLBACK_HH

@@ -6,17 +6,6 @@
 namespace tsoper
 {
 
-void
-Histogram::add(std::uint64_t value, std::uint64_t count)
-{
-    buckets_[value] += count;
-    if (samples_ == 0 || value < min_)
-        min_ = value;
-    max_ = std::max(max_, value);
-    samples_ += count;
-    total_ += value * count;
-}
-
 double
 Histogram::mean() const
 {
@@ -31,7 +20,11 @@ Histogram::cumulativeAt(std::uint64_t v) const
     if (samples_ == 0)
         return 0.0;
     std::uint64_t below = 0;
-    for (const auto &[value, count] : buckets_) {
+    const std::uint64_t flatEnd =
+        std::min<std::uint64_t>(v + 1, flat_.size());
+    for (std::uint64_t value = 0; value < flatEnd; ++value)
+        below += flat_[static_cast<std::size_t>(value)];
+    for (const auto &[value, count] : spill_) {
         if (value > v)
             break;
         below += count;
@@ -47,7 +40,12 @@ Histogram::percentile(double q) const
     const auto target = static_cast<std::uint64_t>(
         q * static_cast<double>(samples_) + 0.5);
     std::uint64_t seen = 0;
-    for (const auto &[value, count] : buckets_) {
+    for (std::uint64_t value = 0; value < flat_.size(); ++value) {
+        seen += flat_[static_cast<std::size_t>(value)];
+        if (flat_[static_cast<std::size_t>(value)] && seen >= target)
+            return value;
+    }
+    for (const auto &[value, count] : spill_) {
         seen += count;
         if (seen >= target)
             return value;
@@ -55,10 +53,26 @@ Histogram::percentile(double q) const
     return max_;
 }
 
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+Histogram::buckets() const
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+    out.reserve(spill_.size() + 16);
+    for (std::uint64_t value = 0; value < flat_.size(); ++value) {
+        if (flat_[static_cast<std::size_t>(value)])
+            out.emplace_back(value, flat_[static_cast<std::size_t>(value)]);
+    }
+    // Spill values are all >= flatSize, so appending keeps the list
+    // sorted.
+    out.insert(out.end(), spill_.begin(), spill_.end());
+    return out;
+}
+
 void
 Histogram::reset()
 {
-    buckets_.clear();
+    flat_.clear();
+    spill_.clear();
     samples_ = total_ = min_ = max_ = 0;
 }
 

@@ -14,6 +14,7 @@
 #include <iosfwd>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hh"
@@ -36,11 +37,36 @@ class Counter
 /**
  * A histogram over unsigned sample values with exact per-value
  * buckets (suitable for AG sizes, list lengths, SFR sizes).
+ *
+ * The sampled quantities are almost always tiny — AG sizes and
+ * sharing-list lengths rarely exceed a few dozen — so values below
+ * flatSize live in a flat vector indexed by value (one add is a
+ * bounds check and an increment, no tree walk).  Rare large values
+ * spill into an ordered map.
  */
 class Histogram
 {
   public:
-    void add(std::uint64_t value, std::uint64_t count = 1);
+    /** First value that spills out of the flat fast path. */
+    static constexpr std::uint64_t flatSize = 256;
+
+    void
+    add(std::uint64_t value, std::uint64_t count = 1)
+    {
+        if (value < flatSize) {
+            if (flat_.size() <= value)
+                flat_.resize(static_cast<std::size_t>(flatSize), 0);
+            flat_[static_cast<std::size_t>(value)] += count;
+        } else {
+            spill_[value] += count;
+        }
+        if (samples_ == 0 || value < min_)
+            min_ = value;
+        if (value > max_)
+            max_ = value;
+        samples_ += count;
+        total_ += value * count;
+    }
 
     std::uint64_t samples() const { return samples_; }
     std::uint64_t total() const { return total_; }
@@ -54,16 +80,18 @@ class Histogram
     /** Smallest value v such that cumulativeAt(v) >= @p q. */
     std::uint64_t percentile(double q) const;
 
-    /** Exact bucket counts, for dumping cumulative curves. */
-    const std::map<std::uint64_t, std::uint64_t> &buckets() const
-    {
-        return buckets_;
-    }
+    /**
+     * Exact non-zero bucket counts in ascending value order, for
+     * dumping cumulative curves.  Materialized on call: this is a
+     * dump-time interface, not a hot path.
+     */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets() const;
 
     void reset();
 
   private:
-    std::map<std::uint64_t, std::uint64_t> buckets_;
+    std::vector<std::uint64_t> flat_; ///< counts for values < flatSize
+    std::map<std::uint64_t, std::uint64_t> spill_; ///< values >= flatSize
     std::uint64_t samples_ = 0;
     std::uint64_t total_ = 0;
     std::uint64_t min_ = 0;

@@ -198,3 +198,44 @@ TEST(DirectoryEviction, MesiTeardownInvalidatesSharers)
     EXPECT_GT(sys.run(), 0u);
     EXPECT_GT(sys.stats().get("dir.evictions"), 0u);
 }
+
+TEST(LineSerializer, IdleLinesAreErased)
+{
+    // The serializer's map must be bounded by in-flight transactions,
+    // not by how many distinct lines a long run ever touched.
+    EventQueue eq;
+    LineSerializer ser(eq);
+    for (LineAddr line = 0; line < 500; ++line) {
+        eq.schedule(line * 3, [&ser, line] {
+            ser.submit(line, [](Cycle t) { return t + 2; });
+        });
+    }
+    eq.run();
+    EXPECT_EQ(ser.trackedLines(), 0u);
+
+    // Queued work keeps exactly the busy lines alive, then drains.
+    eq.schedule(eq.now() + 1, [&] {
+        ser.submit(7, [](Cycle t) { return t + 50; });
+        ser.submit(7, [](Cycle t) { return t + 50; });
+        ser.submit(9, [](Cycle t) { return t + 10; });
+    });
+    eq.runUntil([&] { return ser.trackedLines() == 2; });
+    EXPECT_TRUE(ser.busy(7));
+    eq.run();
+    EXPECT_EQ(ser.trackedLines(), 0u);
+    EXPECT_FALSE(ser.busy(7));
+}
+
+TEST(DirectoryCapacity, EvictBufferOverflowPanics)
+{
+    StatsRegistry stats;
+    DirectoryCapacity dir(64, 1, /*evictBufferEntries=*/2, stats);
+    dir.evictBufferEnter(1);
+    dir.evictBufferEnter(2);
+    EXPECT_EQ(dir.evictBufferOccupancy(), 2u);
+    // A third in-teardown entry exceeds the modelled buffer: the model
+    // has no backpressure path, so this must be a hard invariant.
+    EXPECT_THROW(dir.evictBufferEnter(3), std::logic_error);
+    dir.evictBufferLeave(2);
+    EXPECT_EQ(dir.evictBufferOccupancy(), 2u);
+}

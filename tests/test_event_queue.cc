@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -106,4 +110,189 @@ TEST(EventQueue, ExecutedCountsEvents)
         eq.schedule(static_cast<Cycle>(i), [] {});
     eq.run();
     EXPECT_EQ(eq.executed(), 25u);
+}
+
+// --------------------------------------------------------------------
+// Calendar-queue specifics: the bucket wheel, the far-future heap and
+// the migration between them must preserve the (cycle, seq) order the
+// whole simulation's determinism rests on.
+// --------------------------------------------------------------------
+
+TEST(EventQueue, TieOrderAcrossWheelWrapAndMigration)
+{
+    // One target cycle beyond the wheel horizon, fed from three
+    // vantage points: scheduled while far (heap), scheduled while
+    // still far after time advanced (heap, later seq), and scheduled
+    // once the wheel has wrapped past the horizon and covers the
+    // target (direct bucket append).  Execution must interleave them
+    // purely by insertion sequence.
+    EventQueue eq;
+    const Cycle target = 3 * EventQueue::wheelSize + 7;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(target, [&order, i] { order.push_back(i); });
+    eq.schedule(EventQueue::wheelSize / 2, [&] {
+        for (int i = 5; i < 10; ++i)
+            eq.schedule(target, [&order, i] { order.push_back(i); });
+    });
+    eq.schedule(target - 100, [&] {
+        // Now the wheel window [target-100, target-100+wheelSize)
+        // covers the target: these land in the bucket directly,
+        // behind the migrated heap events.
+        for (int i = 10; i < 15; ++i)
+            eq.schedule(target, [&order, i] { order.push_back(i); });
+    });
+    eq.run();
+    ASSERT_EQ(order.size(), 15u);
+    for (int i = 0; i < 15; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i) << "pos " << i;
+    EXPECT_EQ(eq.now(), target);
+}
+
+TEST(EventQueue, ZeroDelaySelfRescheduling)
+{
+    // A waiter that re-arms itself with scheduleIn(0) must run all its
+    // turns at the same cycle, interleaved behind other same-cycle
+    // arrivals in insertion order.
+    EventQueue eq;
+    std::vector<int> order;
+    int turns = 0;
+    struct Self
+    {
+        EventQueue *eq;
+        std::vector<int> *order;
+        int *turns;
+        void
+        operator()()
+        {
+            order->push_back(*turns);
+            if (++*turns < 4)
+                eq->scheduleIn(0, Self{*this});
+        }
+    };
+    eq.schedule(9, Self{&eq, &order, &turns});
+    eq.schedule(9, [&order] { order.push_back(100); });
+    eq.run();
+    // Turn 0 first, then the independent event (inserted second), then
+    // the self-rescheduled turns appended after it.
+    EXPECT_EQ(order, (std::vector<int>{0, 100, 1, 2, 3}));
+    EXPECT_EQ(eq.now(), 9u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, FarFutureOverflowsIntoHeapAndReturns)
+{
+    // Events on both sides of the wheel horizon; the far side lives in
+    // the heap until time approaches, and the whole set still executes
+    // in cycle order with pending()/executed() consistent.
+    EventQueue eq;
+    std::vector<Cycle> fired;
+    const std::vector<Cycle> whens = {
+        EventQueue::wheelSize - 1,      // last in-wheel cycle
+        EventQueue::wheelSize,          // first heap cycle
+        EventQueue::wheelSize + 1,
+        10 * EventQueue::wheelSize + 3, // deep future
+        5,                              // near
+        7 * EventQueue::wheelSize,
+    };
+    for (Cycle w : whens)
+        eq.schedule(w, [&fired, &eq] { fired.push_back(eq.now()); });
+    EXPECT_EQ(eq.pending(), whens.size());
+    eq.run();
+    std::vector<Cycle> sorted = whens;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(fired, sorted);
+    EXPECT_EQ(eq.executed(), whens.size());
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, RepeatedWheelWrapLongRun)
+{
+    // A chain whose period exceeds the wheel size forces a base
+    // advance plus heap migration on every single event.
+    EventQueue eq;
+    const Cycle period = EventQueue::wheelSize + EventQueue::wheelSize / 2;
+    int hops = 0;
+    struct Hop
+    {
+        EventQueue *eq;
+        int *hops;
+        Cycle period;
+        void
+        operator()()
+        {
+            if (++*hops < 200)
+                eq->scheduleIn(period, Hop{*this});
+        }
+    };
+    eq.scheduleIn(period, Hop{&eq, &hops, period});
+    eq.run();
+    EXPECT_EQ(hops, 200);
+    EXPECT_EQ(eq.now(), 200 * period);
+}
+
+TEST(EventQueue, DeterministicAcrossIdenticalRuns)
+{
+    // Same schedule twice -> identical execution order, cycle by
+    // cycle.  This is the kernel-level form of the fixed-seed
+    // --stats-json byte-identity the campaign relies on.
+    auto trace = [] {
+        EventQueue eq;
+        std::vector<std::pair<Cycle, int>> log;
+        std::uint64_t state = 42;
+        for (int i = 0; i < 500; ++i) {
+            state = state * 6364136223846793005ull + 1442695040888963407ull;
+            eq.schedule(state % (4 * EventQueue::wheelSize),
+                        [&log, &eq, i] { log.emplace_back(eq.now(), i); });
+        }
+        eq.run();
+        return log;
+    };
+    EXPECT_EQ(trace(), trace());
+}
+
+// The inline-callback contract: captures up to the documented
+// capacity are storable, anything larger is rejected at compile time
+// (the constructor static_asserts; canHold is the testable mirror of
+// that condition).
+struct FitsExactly
+{
+    std::array<std::byte, InlineCallback::capacity> pad;
+    void operator()() {}
+};
+
+struct OneByteTooBig
+{
+    std::array<std::byte, InlineCallback::capacity + 1> pad;
+    void operator()() {}
+};
+
+static_assert(InlineCallback::canHold<FitsExactly>,
+              "a capture of exactly `capacity` bytes must be storable");
+static_assert(!InlineCallback::canHold<OneByteTooBig>,
+              "an oversized capture must be a compile error, not a "
+              "silent heap allocation");
+
+TEST(EventQueue, LargestRealCaptureStillFits)
+{
+    // Shape of the biggest scheduling site in src/ (Nvm::write):
+    // this + line + a cacheline of words + a std::function + a cycle.
+    struct NvmShape
+    {
+        void *self;
+        std::uint64_t line;
+        std::array<std::uint64_t, 8> words;
+        std::function<void(Cycle)> done;
+        Cycle completion;
+        void operator()() {}
+    };
+    static_assert(InlineCallback::canHold<NvmShape>);
+    EventQueue eq;
+    bool ran = false;
+    NvmShape ev{};
+    ev.self = &ran;
+    ev.done = [&ran](Cycle) { ran = true; };
+    eq.schedule(3, [ev = std::move(ev)]() mutable { ev.done(0); });
+    eq.run();
+    EXPECT_TRUE(ran);
 }

@@ -9,9 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
 #include "core/crash_checker.hh"
 #include "core/system.hh"
+#include "sim/stats_json.hh"
 #include "workload/generators.hh"
 
 using namespace tsoper;
@@ -100,6 +102,31 @@ TEST(ShapeRegression, Fig14HwRpPersistsMoreOnLockHeavyApps)
         EXPECT_GT(hwrp.stats().get("traffic.persist_wb"),
                   tsoper.stats().get("traffic.persist_wb"))
             << bench;
+    }
+}
+
+TEST(ShapeRegression, StatsJsonByteIdenticalForFixedSeed)
+{
+    // The event kernel's tie-break-by-insertion-sequence guarantee
+    // must surface all the way up: a fixed-seed run serializes to the
+    // exact same --stats-json bytes every time.  This is the
+    // regression gate for kernel swaps — any reordering inside the
+    // calendar queue shows up here as a diff, not as silent drift in
+    // the crash-state audits.
+    auto statsText = [](EngineKind engine) {
+        SystemConfig cfg = makeConfig(engine);
+        const Workload w =
+            generateByName("ocean_cp", cfg.numCores, 7, 0.05);
+        System sys(cfg, w);
+        sys.run();
+        return statsJsonText(sys.stats());
+    };
+    for (EngineKind engine :
+         {EngineKind::Tsoper, EngineKind::Bsp, EngineKind::HwRp}) {
+        const std::string first = statsText(engine);
+        const std::string second = statsText(engine);
+        EXPECT_EQ(first, second) << toString(engine);
+        EXPECT_NE(first.find("\"histograms\""), std::string::npos);
     }
 }
 

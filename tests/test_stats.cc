@@ -148,3 +148,62 @@ TEST(TimeSeries, RecordsPoints)
     EXPECT_EQ(ts.points()[0].first, 5u);
     EXPECT_DOUBLE_EQ(ts.points()[1].second, 2.5);
 }
+
+// --------------------------------------------------------------------
+// Flat fast path vs map spillover (Histogram::flatSize boundary).
+// --------------------------------------------------------------------
+
+TEST(Histogram, SpilloverKeepsMomentsAcrossBoundary)
+{
+    Histogram h;
+    h.add(Histogram::flatSize - 1, 3); // last flat value
+    h.add(Histogram::flatSize, 2);     // first spilled value
+    h.add(10'000);                     // deep spill
+    h.add(0, 4);
+    EXPECT_EQ(h.samples(), 10u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 10'000u);
+    EXPECT_EQ(h.total(), 3 * (Histogram::flatSize - 1) +
+                             2 * Histogram::flatSize + 10'000);
+}
+
+TEST(Histogram, BucketsMergeFlatAndSpillSorted)
+{
+    Histogram h;
+    h.add(2'000);
+    h.add(7);
+    h.add(Histogram::flatSize + 1);
+    h.add(7);
+    h.add(300);
+    const auto buckets = h.buckets();
+    ASSERT_EQ(buckets.size(), 4u);
+    EXPECT_EQ(buckets[0], (std::pair<std::uint64_t, std::uint64_t>{7, 2}));
+    EXPECT_EQ(buckets[1].first, Histogram::flatSize + 1);
+    EXPECT_EQ(buckets[2].first, 300u);
+    EXPECT_EQ(buckets[3].first, 2'000u);
+    for (std::size_t i = 1; i < buckets.size(); ++i)
+        EXPECT_LT(buckets[i - 1].first, buckets[i].first);
+}
+
+TEST(Histogram, CumulativeAndPercentileAcrossSpill)
+{
+    Histogram h;
+    for (std::uint64_t v = 0; v < 2 * Histogram::flatSize; ++v)
+        h.add(v);
+    EXPECT_DOUBLE_EQ(h.cumulativeAt(Histogram::flatSize - 1), 0.5);
+    EXPECT_DOUBLE_EQ(h.cumulativeAt(2 * Histogram::flatSize), 1.0);
+    EXPECT_EQ(h.percentile(0.25), Histogram::flatSize / 2 - 1);
+    EXPECT_EQ(h.percentile(1.0), 2 * Histogram::flatSize - 1);
+}
+
+TEST(Histogram, ResetClearsBothTiers)
+{
+    Histogram h;
+    h.add(3);
+    h.add(4 * Histogram::flatSize);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_TRUE(h.buckets().empty());
+    h.add(5);
+    EXPECT_EQ(h.buckets().size(), 1u);
+}

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * tsoper_bench — wall-clock benchmark driver for the simulation
+ * kernel.  Runs the three micro patterns from bench/kernel_patterns.hh
+ * plus one fixed-seed fig11 cell (tsoper engine on ocean_cp) and
+ * writes BENCH_kernel.json: the perf trajectory's datapoints.
+ *
+ *   tsoper_bench                      # full run, BENCH_kernel.json
+ *   tsoper_bench --quick --verify-out # CI smoke (bench_smoke ctest)
+ *
+ * Options:
+ *   --out=<file>     output path            (default BENCH_kernel.json)
+ *   --quick          ~20x fewer events; for CI smoke, not for numbers
+ *   --repeat=<n>     repetitions per pattern, best kept (default 3)
+ *   --verify-out     re-read the emitted JSON and validate the schema
+ *
+ * Schema ("schema": "tsoper.bench.kernel/v1"):
+ *   {
+ *     "schema": "...", "quick": bool,
+ *     "micro": {"<pattern>": {"events": u, "wall_seconds": f,
+ *                             "events_per_sec": f}, ...},
+ *     "fig11": {"engine": "tsoper", "bench": "ocean_cp", "seed": u,
+ *               "scale": f, "cycles": u, "events": u,
+ *               "wall_seconds": f, "events_per_sec": f}
+ *   }
+ * docs/perf.md documents how to read and track these numbers.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "core/system.hh"
+#include "kernel_patterns.hh"
+#include "sim/json.hh"
+#include "workload/generators.hh"
+
+using namespace tsoper;
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Run @p body @p repeat times; keep the fastest (events, seconds). */
+Json
+timeBest(unsigned repeat, const std::function<std::uint64_t()> &body)
+{
+    std::uint64_t events = 0;
+    double best = 0.0;
+    for (unsigned r = 0; r < repeat; ++r) {
+        const auto start = std::chrono::steady_clock::now();
+        const std::uint64_t n = body();
+        const double secs = secondsSince(start);
+        if (r == 0 || secs < best) {
+            best = secs;
+            events = n;
+        }
+    }
+    Json entry = Json::object();
+    entry.set("events", events);
+    entry.set("wall_seconds", best);
+    entry.set("events_per_sec",
+              best > 0.0 ? static_cast<double>(events) / best : 0.0);
+    return entry;
+}
+
+bool
+verifyDocument(const Json &doc, std::string *err)
+{
+    const Json *schema = doc.find("schema");
+    if (!schema || !schema->isString() ||
+        schema->asString() != "tsoper.bench.kernel/v1") {
+        *err = "missing or wrong schema tag";
+        return false;
+    }
+    const Json *micro = doc.find("micro");
+    if (!micro || !micro->isObject() || micro->size() < 3) {
+        *err = "micro must be an object with >= 3 patterns";
+        return false;
+    }
+    for (const auto &[name, entry] : micro->members()) {
+        for (const char *field :
+             {"events", "wall_seconds", "events_per_sec"}) {
+            const Json *v = entry.find(field);
+            if (!v || !v->isNumber() || v->asDouble() <= 0.0) {
+                *err = "micro." + name + "." + field +
+                       " missing or non-positive";
+                return false;
+            }
+        }
+    }
+    const Json *fig11 = doc.find("fig11");
+    if (!fig11 || !fig11->isObject()) {
+        *err = "missing fig11 cell";
+        return false;
+    }
+    for (const char *field : {"engine", "bench", "seed", "scale",
+                              "cycles", "events", "wall_seconds",
+                              "events_per_sec"}) {
+        if (!fig11->find(field)) {
+            *err = std::string("fig11.") + field + " missing";
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out = "BENCH_kernel.json";
+    bool quick = false;
+    bool verifyOut = false;
+    unsigned repeat = 3;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--out=", 0) == 0) {
+            out = arg.substr(6);
+        } else if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--verify-out") {
+            verifyOut = true;
+        } else if (arg.rfind("--repeat=", 0) == 0) {
+            repeat = static_cast<unsigned>(std::stoul(arg.substr(9)));
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: tsoper_bench [--out=F] [--quick] "
+                        "[--repeat=N] [--verify-out]\n");
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            return 2;
+        }
+    }
+
+    const std::uint64_t microEvents = quick ? 100'000 : 2'000'000;
+    const double fig11Scale = quick ? 0.05 : 0.3;
+    if (quick)
+        repeat = 1;
+
+    Json doc = Json::object();
+    doc.set("schema", "tsoper.bench.kernel/v1");
+    doc.set("quick", quick);
+
+    Json micro = Json::object();
+    struct Pattern
+    {
+        const char *name;
+        std::uint64_t (*fn)(std::uint64_t);
+    };
+    const Pattern patterns[] = {
+        {"schedule_heavy",
+         [](std::uint64_t n) { return bench::patternScheduleHeavy(n); }},
+        {"zero_delay_heavy",
+         [](std::uint64_t n) { return bench::patternZeroDelayHeavy(n); }},
+        {"mixed_latency",
+         [](std::uint64_t n) { return bench::patternMixedLatency(n); }},
+    };
+    for (const Pattern &p : patterns) {
+        Json entry =
+            timeBest(repeat, [&] { return p.fn(microEvents); });
+        std::printf("%-18s %12.0f events/s (%.3fs, %llu events)\n",
+                    p.name, entry["events_per_sec"].asDouble(),
+                    entry["wall_seconds"].asDouble(),
+                    static_cast<unsigned long long>(
+                        entry["events"].asUint()));
+        micro.set(p.name, std::move(entry));
+    }
+    doc.set("micro", std::move(micro));
+
+    // One fixed-seed fig11 cell: the tsoper engine on ocean_cp.  The
+    // workload is generated outside the timed region; the timer covers
+    // System construction + run, the unit a campaign cell pays.
+    {
+        const std::uint64_t seed = 1;
+        SystemConfig cfg = makeConfig(EngineKind::Tsoper);
+        const Workload w =
+            generateByName("ocean_cp", cfg.numCores, seed, fig11Scale);
+        Json cell = Json::object();
+        std::uint64_t events = 0;
+        Cycle cycles = 0;
+        double best = 0.0;
+        for (unsigned r = 0; r < repeat; ++r) {
+            const auto start = std::chrono::steady_clock::now();
+            System sys(cfg, w);
+            cycles = sys.run();
+            const double secs = secondsSince(start);
+            if (r == 0 || secs < best) {
+                best = secs;
+                events = sys.eventQueue().executed();
+            }
+        }
+        cell.set("engine", "tsoper");
+        cell.set("bench", "ocean_cp");
+        cell.set("seed", seed);
+        cell.set("scale", fig11Scale);
+        cell.set("cycles", static_cast<std::uint64_t>(cycles));
+        cell.set("events", events);
+        cell.set("wall_seconds", best);
+        cell.set("events_per_sec",
+                 best > 0.0 ? static_cast<double>(events) / best : 0.0);
+        std::printf("%-18s %12.0f events/s (%.3fs, %llu events, "
+                    "%llu cycles)\n",
+                    "fig11_cell", cell["events_per_sec"].asDouble(),
+                    best, static_cast<unsigned long long>(events),
+                    static_cast<unsigned long long>(cycles));
+        doc.set("fig11", std::move(cell));
+    }
+
+    {
+        std::ofstream os(out);
+        if (!os) {
+            std::fprintf(stderr, "cannot write %s\n", out.c_str());
+            return 1;
+        }
+        os << doc.dump(2) << "\n";
+    }
+    std::printf("wrote %s\n", out.c_str());
+
+    if (verifyOut) {
+        std::ifstream is(out);
+        std::stringstream ss;
+        ss << is.rdbuf();
+        Json parsed;
+        std::string err;
+        if (!Json::parse(ss.str(), &parsed, &err)) {
+            std::fprintf(stderr, "verify-out: %s does not parse: %s\n",
+                         out.c_str(), err.c_str());
+            return 1;
+        }
+        if (!verifyDocument(parsed, &err)) {
+            std::fprintf(stderr, "verify-out: %s\n", err.c_str());
+            return 1;
+        }
+        std::printf("verify-out: schema ok\n");
+    }
+    return 0;
+}
