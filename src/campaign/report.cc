@@ -20,6 +20,8 @@ CellReport::toJson() const
     if (result.crashCycle)
         j.set("crash_cycle", Json(result.crashCycle));
     j.set("ops", Json(result.ops)).set("stores", Json(result.stores));
+    if (!result.recoverySummary.empty())
+        j.set("recovery_summary", Json(result.recoverySummary));
     if (result.audited) {
         Json audit = Json::object();
         audit.set("durable_lines", Json(result.durableLines))
@@ -30,8 +32,75 @@ CellReport::toJson() const
             .set("ok", Json(result.status != RunStatus::CheckFailed));
         j.set("audit", std::move(audit));
     }
+    if (result.exitCode >= 0)
+        j.set("exit_code", Json(static_cast<std::int64_t>(
+                               result.exitCode)));
+    if (!result.signalName.empty())
+        j.set("signal", Json(result.signalName));
+    if (!result.stderrTail.empty())
+        j.set("stderr_tail", Json(result.stderrTail));
+    if (quarantined)
+        j.set("quarantined", Json(true));
+    if (attemptLog.size() >= 2) {
+        // A single clean attempt would only duplicate the cell's own
+        // status/wall_ms, so the log is emitted for retried cells only.
+        Json logArr = Json::array();
+        for (const AttemptRecord &a : attemptLog) {
+            Json entry = Json::object();
+            entry.set("status", Json(toString(a.status)))
+                .set("wall_ms", Json(a.wallMs));
+            if (!a.detail.empty())
+                entry.set("detail", Json(a.detail));
+            logArr.push(std::move(entry));
+        }
+        j.set("attempt_log", std::move(logArr));
+    }
     j.set("stats", result.stats);
     return j;
+}
+
+bool
+cellReportFromJson(const Json &j, CellReport *out, std::string *err)
+{
+    CellReport cell;
+    cell.request = runRequestFromJson(j);
+    if (cell.request.id.empty()) {
+        if (err)
+            *err = "cell record has no id";
+        return false;
+    }
+    std::string resErr;
+    if (!runResultFromJson(j, &cell.result, &resErr)) {
+        if (err)
+            *err = "cell " + cell.request.id + ": " + resErr;
+        return false;
+    }
+    if (const Json *attempts = j.find("attempts");
+        attempts && attempts->isNumber())
+        cell.attempts = static_cast<unsigned>(attempts->asUint());
+    if (const Json *wall = j.find("wall_ms"); wall && wall->isNumber())
+        cell.wallMs = wall->asDouble();
+    if (const Json *q = j.find("quarantined"); q && q->isBool())
+        cell.quarantined = q->asBool();
+    if (const Json *logArr = j.find("attempt_log");
+        logArr && logArr->isArray()) {
+        for (std::size_t i = 0; i < logArr->size(); ++i) {
+            const Json &entry = logArr->at(i);
+            AttemptRecord a;
+            if (const Json *st = entry.find("status");
+                st && st->isString())
+                runStatusFromName(st->asString(), &a.status);
+            if (const Json *wall = entry.find("wall_ms");
+                wall && wall->isNumber())
+                a.wallMs = wall->asDouble();
+            if (const Json *detail = entry.find("detail");
+                detail && detail->isString())
+                a.detail = detail->asString();
+            cell.attemptLog.push_back(std::move(a));
+        }
+    }
+    *out = std::move(cell);
+    return true;
 }
 
 std::size_t
@@ -39,7 +108,27 @@ CampaignReport::count(RunStatus status) const
 {
     std::size_t n = 0;
     for (const CellReport &c : cells)
-        if (c.result.status == status)
+        if (!c.quarantined && c.result.status == status)
+            ++n;
+    return n;
+}
+
+std::size_t
+CampaignReport::quarantinedCount() const
+{
+    std::size_t n = 0;
+    for (const CellReport &c : cells)
+        if (c.quarantined)
+            ++n;
+    return n;
+}
+
+std::size_t
+CampaignReport::resumedCount() const
+{
+    std::size_t n = 0;
+    for (const CellReport &c : cells)
+        if (c.fromJournal)
             ++n;
     return n;
 }
@@ -59,17 +148,24 @@ CampaignReport::summary() const
     std::ostringstream os;
     os << cells.size() << " cells:";
     bool any = false;
-    for (RunStatus s : {RunStatus::Ok, RunStatus::CheckFailed,
-                        RunStatus::Timeout, RunStatus::Crashed,
-                        RunStatus::BadRequest}) {
+    for (RunStatus s : allRunStatuses()) {
         const std::size_t n = count(s);
         if (!n)
             continue;
         os << (any ? ", " : " ") << n << " " << toString(s);
         any = true;
     }
+    if (const std::size_t q = quarantinedCount()) {
+        os << (any ? ", " : " ") << q << " quarantined";
+        any = true;
+    }
     if (!any)
         os << " none";
+    if (const std::size_t r = resumedCount())
+        os << "; " << r << " resumed from journal";
+    if (orphanedThreads)
+        os << "; " << orphanedThreads << " orphaned attempt thread"
+           << (orphanedThreads == 1 ? "" : "s");
     return os.str();
 }
 
@@ -78,11 +174,11 @@ CampaignReport::toJson() const
 {
     Json totals = Json::object();
     totals.set("cells", Json(static_cast<std::uint64_t>(cells.size())));
-    for (RunStatus s : {RunStatus::Ok, RunStatus::CheckFailed,
-                        RunStatus::Timeout, RunStatus::Crashed,
-                        RunStatus::BadRequest})
+    for (RunStatus s : allRunStatuses())
         totals.set(toString(s),
                    Json(static_cast<std::uint64_t>(count(s))));
+    totals.set("quarantined",
+               Json(static_cast<std::uint64_t>(quarantinedCount())));
 
     Json cellArr = Json::array();
     for (const CellReport &c : cells)
@@ -92,6 +188,7 @@ CampaignReport::toJson() const
     j.set("campaign", Json(name))
         .set("jobs", Json(jobs))
         .set("wall_ms", Json(wallMs))
+        .set("orphaned_threads", Json(orphanedThreads))
         .set("totals", std::move(totals))
         .set("cells", std::move(cellArr));
     return j;

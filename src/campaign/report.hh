@@ -7,7 +7,12 @@
  * pool finished them, and everything derived from the simulation
  * (status, cycles, audit, stats) is deterministic given the spec —
  * only the "wall_ms"/"attempts" bookkeeping fields vary between runs.
- * See docs/campaigns.md for the schema.
+ *
+ * Cells whose transient failures (timeout/crashed) survived every
+ * retry are *quarantined*: they keep their full detail but are
+ * bucketed separately in totals() and summary() so a single sick cell
+ * cannot poison a sweep's aggregates.  See docs/campaigns.md for the
+ * schema and the journal format built from these records.
  */
 
 #ifndef TSOPER_CAMPAIGN_REPORT_HH
@@ -22,16 +27,44 @@
 namespace tsoper::campaign
 {
 
+/** One attempt of one cell, kept for all attempts — flaky cells and
+ *  backoff behaviour are only debuggable with the full history. */
+struct AttemptRecord
+{
+    RunStatus status = RunStatus::BadRequest;
+    double wallMs = 0.0;
+    std::string detail;
+};
+
 /** One executed cell. */
 struct CellReport
 {
     RunRequest request;
-    RunResult result;
-    unsigned attempts = 1;  ///< 1 + retries actually taken.
+    RunResult result;       ///< Outcome of the final attempt.
+    unsigned attempts = 1;  ///< == attemptLog.size() when it is kept.
     double wallMs = 0.0;    ///< Wall-clock of the final attempt.
+
+    /** Every attempt in order (status, wall-clock, detail). */
+    std::vector<AttemptRecord> attemptLog;
+
+    /** Transient failure survived all retries (see file comment). */
+    bool quarantined = false;
+
+    /** Reused from a resume journal rather than executed this run
+     *  (runtime-only; deliberately not serialized so resumed reports
+     *  stay byte-identical). */
+    bool fromJournal = false;
 
     Json toJson() const;
 };
+
+/**
+ * Rebuild a CellReport from its toJson() form — the journal's load
+ * path.  Returns false with a message in @p err when @p j lacks a
+ * valid id or status.
+ */
+bool cellReportFromJson(const Json &j, CellReport *out,
+                        std::string *err);
 
 struct CampaignReport
 {
@@ -40,12 +73,24 @@ struct CampaignReport
     double wallMs = 0.0; ///< End-to-end campaign wall-clock.
     std::vector<CellReport> cells; ///< Spec-expansion order.
 
+    /** Attempt threads still detached when the campaign finished
+     *  (in-process executor only; each one burns a core until the
+     *  process exits — see RunnerOptions::isolation). */
+    unsigned orphanedThreads = 0;
+
+    /** Cells with this final status, quarantined cells excluded. */
     std::size_t count(RunStatus status) const;
+
+    std::size_t quarantinedCount() const;
+
+    /** Cells reused from the resume journal. */
+    std::size_t resumedCount() const;
 
     /** Every cell finished RunStatus::Ok. */
     bool allOk() const;
 
-    /** One-line outcome: "54 cells: 52 ok, 1 check-failed, 1 timeout". */
+    /** One-line outcome: "54 cells: 52 ok, 1 check-failed,
+     *  1 quarantined; 1 orphaned attempt thread". */
     std::string summary() const;
 
     Json toJson() const;

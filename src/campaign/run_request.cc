@@ -5,6 +5,7 @@
 #include "core/recovery.hh"
 #include "core/system.hh"
 #include "sim/stats_json.hh"
+#include "sim/watchdog.hh"
 #include "workload/generators.hh"
 #include "workload/trace_io.hh"
 
@@ -20,8 +21,30 @@ toString(RunStatus status)
       case RunStatus::Timeout:     return "timeout";
       case RunStatus::Crashed:     return "crashed";
       case RunStatus::BadRequest:  return "bad-request";
+      case RunStatus::Hung:        return "hung";
     }
     return "?";
+}
+
+const std::vector<RunStatus> &
+allRunStatuses()
+{
+    static const std::vector<RunStatus> all{
+        RunStatus::Ok,      RunStatus::CheckFailed, RunStatus::Timeout,
+        RunStatus::Crashed, RunStatus::Hung,        RunStatus::BadRequest};
+    return all;
+}
+
+bool
+runStatusFromName(const std::string &name, RunStatus *out)
+{
+    for (RunStatus s : allRunStatuses()) {
+        if (name == toString(s)) {
+            *out = s;
+            return true;
+        }
+    }
+    return false;
 }
 
 Json
@@ -43,7 +66,126 @@ RunRequest::toJson() const
     if (crashAt > 0.0)
         j.set("crash_at", Json(crashAt));
     j.set("check", Json(check));
+    j.set("max_cycles", Json(maxCycles));
     return j;
+}
+
+RunRequest
+runRequestFromJson(const Json &j)
+{
+    RunRequest r;
+    if (const Json *v = j.find("id"); v && v->isString())
+        r.id = v->asString();
+    if (const Json *v = j.find("engine"); v && v->isString())
+        r.engine = v->asString();
+    if (const Json *v = j.find("bench"); v && v->isString())
+        r.bench = v->asString();
+    if (const Json *v = j.find("trace"); v && v->isString())
+        r.traceFile = v->asString();
+    if (const Json *v = j.find("scale"); v && v->isNumber())
+        r.scale = v->asDouble();
+    if (const Json *v = j.find("seed"); v && v->isNumber())
+        r.seed = v->asUint();
+    if (const Json *v = j.find("cores"); v && v->isNumber())
+        r.cores = static_cast<unsigned>(v->asUint());
+    if (const Json *v = j.find("ag_max_lines"); v && v->isNumber())
+        r.agMaxLines = static_cast<unsigned>(v->asUint());
+    if (const Json *v = j.find("agb_slice_lines"); v && v->isNumber())
+        r.agbSliceLines = static_cast<unsigned>(v->asUint());
+    if (const Json *v = j.find("crash_at"); v && v->isNumber())
+        r.crashAt = v->asDouble();
+    if (const Json *v = j.find("check"); v && v->isBool())
+        r.check = v->asBool();
+    if (const Json *v = j.find("max_cycles"); v && v->isNumber())
+        r.maxCycles = v->asUint();
+    return r;
+}
+
+Json
+runResultToJson(const RunResult &res)
+{
+    Json j = Json::object();
+    j.set("status", Json(toString(res.status)));
+    if (!res.detail.empty())
+        j.set("detail", Json(res.detail));
+    j.set("cycles", Json(res.cycles))
+        .set("drain_cycles", Json(res.drainCycles));
+    if (res.crashCycle)
+        j.set("crash_cycle", Json(res.crashCycle));
+    j.set("ops", Json(res.ops)).set("stores", Json(res.stores));
+    if (!res.recoverySummary.empty())
+        j.set("recovery_summary", Json(res.recoverySummary));
+    if (res.audited) {
+        Json audit = Json::object();
+        audit.set("durable_lines", Json(res.durableLines))
+            .set("durable_words", Json(res.durableWords))
+            .set("buffer_recovered_lines", Json(res.bufferRecoveredLines))
+            .set("required_stores", Json(res.requiredStores));
+        j.set("audit", std::move(audit));
+    }
+    if (res.exitCode != -1)
+        j.set("exit_code", Json(res.exitCode));
+    if (!res.signalName.empty())
+        j.set("signal", Json(res.signalName));
+    if (!res.stderrTail.empty())
+        j.set("stderr_tail", Json(res.stderrTail));
+    j.set("stats", res.stats);
+    return j;
+}
+
+bool
+runResultFromJson(const Json &j, RunResult *out, std::string *err)
+{
+    if (!j.isObject()) {
+        if (err)
+            *err = "result document is not an object";
+        return false;
+    }
+    const Json *status = j.find("status");
+    if (!status || !status->isString() ||
+        !runStatusFromName(status->asString(), &out->status)) {
+        if (err)
+            *err = "result document has no valid status";
+        return false;
+    }
+    if (const Json *v = j.find("detail"); v && v->isString())
+        out->detail = v->asString();
+    if (const Json *v = j.find("cycles"); v && v->isNumber())
+        out->cycles = v->asUint();
+    if (const Json *v = j.find("drain_cycles"); v && v->isNumber())
+        out->drainCycles = v->asUint();
+    if (const Json *v = j.find("crash_cycle"); v && v->isNumber())
+        out->crashCycle = v->asUint();
+    if (const Json *v = j.find("ops"); v && v->isNumber())
+        out->ops = v->asUint();
+    if (const Json *v = j.find("stores"); v && v->isNumber())
+        out->stores = v->asUint();
+    if (const Json *v = j.find("recovery_summary"); v && v->isString())
+        out->recoverySummary = v->asString();
+    if (const Json *audit = j.find("audit"); audit && audit->isObject()) {
+        out->audited = true;
+        if (const Json *v = audit->find("durable_lines");
+            v && v->isNumber())
+            out->durableLines = v->asUint();
+        if (const Json *v = audit->find("durable_words");
+            v && v->isNumber())
+            out->durableWords = v->asUint();
+        if (const Json *v = audit->find("buffer_recovered_lines");
+            v && v->isNumber())
+            out->bufferRecoveredLines = v->asUint();
+        if (const Json *v = audit->find("required_stores");
+            v && v->isNumber())
+            out->requiredStores = v->asUint();
+    }
+    if (const Json *v = j.find("exit_code"); v && v->isNumber())
+        out->exitCode = static_cast<int>(v->asInt());
+    if (const Json *v = j.find("signal"); v && v->isString())
+        out->signalName = v->asString();
+    if (const Json *v = j.find("stderr_tail"); v && v->isString())
+        out->stderrTail = v->asString();
+    if (const Json *v = j.find("stats"))
+        out->stats = *v;
+    return true;
 }
 
 bool
@@ -158,6 +300,14 @@ runOne(const RunRequest &r, const RunHooks &hooks)
         res.stats = statsToJson(sys.stats());
         if (hooks.onFinished)
             hooks.onFinished(sys);
+        return res;
+    } catch (const HungError &e) {
+        // The progress watchdog proved a livelock/deadlock; e.what()
+        // carries the reason plus the machine-state dump.  Hung is a
+        // deterministic verdict (same seed, same livelock), so the
+        // runner does not retry it.
+        res.status = RunStatus::Hung;
+        res.detail = e.what();
         return res;
     } catch (const std::exception &e) {
         res.status = RunStatus::Crashed;

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "sim/config.hh"
 #include "sim/json.hh"
@@ -62,6 +63,14 @@ struct RunRequest
     bool operator==(const RunRequest &o) const = default;
 };
 
+/**
+ * Rebuild a RunRequest from the cell-header fields of @p j (the
+ * inverse of toJson; unknown members are ignored, absent ones keep
+ * their defaults).  Used by journal resume to prove a journaled cell
+ * still matches the expanded spec before its result is reused.
+ */
+RunRequest runRequestFromJson(const Json &j);
+
 enum class RunStatus
 {
     Ok,          ///< Completed; audit (when requested) passed.
@@ -69,9 +78,16 @@ enum class RunStatus
     Timeout,     ///< Exceeded the campaign's wall-clock budget.
     Crashed,     ///< Simulator panic/fatal or unexpected exception.
     BadRequest,  ///< Unknown engine/bench or invalid workload.
+    Hung,        ///< Progress watchdog proved a livelock/deadlock.
 };
 
 const char *toString(RunStatus status);
+
+/** Parse a toString(RunStatus) spelling back; false if unknown. */
+bool runStatusFromName(const std::string &name, RunStatus *out);
+
+/** All statuses in reporting order (summary lines, totals). */
+const std::vector<RunStatus> &allRunStatuses();
 
 /** Outcome of one run; deterministic given the request. */
 struct RunResult
@@ -98,7 +114,22 @@ struct RunResult
     /** statsToJson() of the run's registry (null if the run never
      *  constructed a System). */
     Json stats;
+
+    // Subprocess-execution facts (campaign/subprocess.hh); defaults
+    // mean "ran in-process".
+    int exitCode = -1;      ///< Child exit code; -1 = none/killed.
+    std::string signalName; ///< "SIGSEGV" etc. when signal-killed.
+    std::string stderrTail; ///< Redacted tail of the child's stderr.
 };
+
+/**
+ * Serialize / parse the full RunResult (every field above, stats
+ * included) — the subprocess executor's wire format: the child
+ * (`tsoper_sim --result-json=F`) writes it, the parent reads it back,
+ * so an isolated cell loses no fidelity versus an in-process one.
+ */
+Json runResultToJson(const RunResult &res);
+bool runResultFromJson(const Json &j, RunResult *out, std::string *err);
 
 /** Optional observation points into runOne. */
 struct RunHooks

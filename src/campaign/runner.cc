@@ -1,8 +1,10 @@
 #include "campaign/runner.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <thread>
@@ -25,6 +27,19 @@ msSince(Clock::time_point start)
         .count();
 }
 
+std::atomic<unsigned> liveOrphans{0};
+
+/** Who settled the attempt first: the worker finishing (Done) or the
+ *  timeout path abandoning it (Orphaned).  The loser of the exchange
+ *  race learns what the winner did and adjusts the orphan counter —
+ *  an orphan that eventually finishes un-counts itself. */
+enum class AttemptState : int
+{
+    Running = 0,
+    Done = 1,
+    Orphaned = 2,
+};
+
 /** One attempt with a wall-clock budget. */
 RunResult
 attemptWithTimeout(const RunRequest &request,
@@ -34,10 +49,21 @@ attemptWithTimeout(const RunRequest &request,
     if (timeout.count() <= 0)
         return fn(request);
 
-    std::packaged_task<RunResult()> task(
-        [&fn, request] { return fn(request); });
-    std::future<RunResult> future = task.get_future();
-    std::thread worker(std::move(task));
+    auto state = std::make_shared<std::atomic<int>>(
+        static_cast<int>(AttemptState::Running));
+    auto prom = std::make_shared<std::promise<RunResult>>();
+    std::future<RunResult> future = prom->get_future();
+    std::thread worker([&fn, request, state, prom] {
+        try {
+            prom->set_value(fn(request));
+        } catch (...) {
+            prom->set_exception(std::current_exception());
+        }
+        const int prev = state->exchange(
+            static_cast<int>(AttemptState::Done));
+        if (prev == static_cast<int>(AttemptState::Orphaned))
+            liveOrphans.fetch_sub(1, std::memory_order_relaxed);
+    });
     if (future.wait_for(timeout) == std::future_status::ready) {
         worker.join();
         return future.get();
@@ -45,6 +71,15 @@ attemptWithTimeout(const RunRequest &request,
     // The attempt overran its budget.  A simulation has no safe
     // preemption point, so the thread is abandoned; whatever it
     // eventually produces is dropped with the discarded future.
+    const int prev =
+        state->exchange(static_cast<int>(AttemptState::Orphaned));
+    if (prev == static_cast<int>(AttemptState::Done)) {
+        // It finished in the instant after the wait gave up — not an
+        // orphan after all, take the real result.
+        worker.join();
+        return future.get();
+    }
+    liveOrphans.fetch_add(1, std::memory_order_relaxed);
     worker.detach();
     RunResult result;
     result.status = RunStatus::Timeout;
@@ -61,9 +96,17 @@ retryable(RunStatus status)
 
 } // namespace
 
+unsigned
+liveOrphanCount()
+{
+    return liveOrphans.load(std::memory_order_relaxed);
+}
+
 CellReport
 runCell(const RunRequest &request, const RunnerOptions &opt)
 {
+    const bool isolate =
+        opt.isolation == Isolation::Subprocess && !opt.cellFn;
     const std::function<RunResult(const RunRequest &)> fn =
         opt.cellFn ? opt.cellFn
                    : [](const RunRequest &r) { return runOne(r); };
@@ -71,12 +114,37 @@ runCell(const RunRequest &request, const RunnerOptions &opt)
     CellReport cell;
     cell.request = request;
     for (unsigned attempt = 0;; ++attempt) {
+        if (attempt > 0 && opt.backoffBaseMs) {
+            const std::uint64_t raw =
+                static_cast<std::uint64_t>(opt.backoffBaseMs)
+                << (attempt - 1);
+            const std::uint64_t delay = std::min<std::uint64_t>(
+                raw, opt.backoffMaxMs ? opt.backoffMaxMs : raw);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
+        }
         const Clock::time_point start = Clock::now();
-        cell.result = attemptWithTimeout(request, fn, opt.timeout);
-        cell.wallMs = msSince(start);
+        if (isolate) {
+            SubprocessOptions sub = opt.subprocess;
+            sub.timeout = opt.timeout;
+            SubprocessOutcome outcome = runSubprocess(request, sub);
+            cell.result = std::move(outcome.result);
+            cell.wallMs = outcome.wallMs;
+        } else {
+            cell.result = attemptWithTimeout(request, fn, opt.timeout);
+            cell.wallMs = msSince(start);
+        }
         cell.attempts = attempt + 1;
-        if (!retryable(cell.result.status) || attempt >= opt.retries)
+        cell.attemptLog.push_back(
+            {cell.result.status, cell.wallMs, cell.result.detail});
+        if (!retryable(cell.result.status))
             return cell;
+        if (attempt >= opt.retries) {
+            // Transient failure survived every attempt: quarantine the
+            // cell so one sick run cannot poison the sweep's totals.
+            cell.quarantined = true;
+            return cell;
+        }
     }
 }
 
@@ -98,28 +166,58 @@ runCampaign(const std::string &name,
     std::atomic<std::size_t> done{0};
     std::mutex progressMutex;
 
+    const auto progressLine = [&](const CellReport &cell,
+                                  std::size_t finished) {
+        if (!opt.progress)
+            return;
+        std::lock_guard<std::mutex> lock(progressMutex);
+        char head[64];
+        std::snprintf(head, sizeof(head), "[%3zu/%zu] %-12s", finished,
+                      cells.size(),
+                      cell.fromJournal ? "resumed"
+                                       : toString(cell.result.status));
+        *opt.progress << head << " " << cell.request.id;
+        if (cell.fromJournal) {
+            *opt.progress << "  (journal)";
+        } else {
+            *opt.progress << "  ("
+                          << static_cast<long>(cell.wallMs) << " ms";
+            if (cell.attempts > 1)
+                *opt.progress << ", " << cell.attempts << " attempts";
+            if (cell.quarantined)
+                *opt.progress << ", quarantined";
+            *opt.progress << ")";
+        }
+        *opt.progress << "\n" << std::flush;
+    };
+
     {
         ThreadPool pool(jobs);
         for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (opt.resumeFrom) {
+                const auto it = opt.resumeFrom->cells.find(cells[i].id);
+                // Reuse only if the journaled request is the manifest
+                // request — a spec edited under the journal re-runs
+                // its stale cells instead of silently reusing them.
+                if (it != opt.resumeFrom->cells.end() &&
+                    it->second.request == cells[i]) {
+                    CellReport cell = it->second;
+                    cell.fromJournal = true;
+                    const std::size_t finished =
+                        done.fetch_add(1, std::memory_order_relaxed) +
+                        1;
+                    progressLine(cell, finished);
+                    report.cells[i] = std::move(cell);
+                    continue;
+                }
+            }
             pool.submit([&, i] {
                 CellReport cell = runCell(cells[i], opt);
+                if (opt.journal)
+                    opt.journal->append(cell);
                 const std::size_t finished =
                     done.fetch_add(1, std::memory_order_relaxed) + 1;
-                if (opt.progress) {
-                    std::lock_guard<std::mutex> lock(progressMutex);
-                    char head[64];
-                    std::snprintf(head, sizeof(head), "[%3zu/%zu] %-12s",
-                                  finished, cells.size(),
-                                  toString(cell.result.status));
-                    *opt.progress << head << " " << cell.request.id
-                                  << "  (" << static_cast<long>(
-                                         cell.wallMs)
-                                  << " ms";
-                    if (cell.attempts > 1)
-                        *opt.progress << ", " << cell.attempts
-                                      << " attempts";
-                    *opt.progress << ")\n" << std::flush;
-                }
+                progressLine(cell, finished);
                 report.cells[i] = std::move(cell);
             });
         }
@@ -127,6 +225,7 @@ runCampaign(const std::string &name,
     }
 
     report.wallMs = msSince(start);
+    report.orphanedThreads = liveOrphanCount();
     return report;
 }
 

@@ -1,17 +1,36 @@
 /**
  * @file
  * Campaign runner: executes a list of run manifests on the
- * work-stealing pool with per-cell wall-clock timeout, one (or more)
- * retries on transient failure, and live progress reporting, then
- * aggregates everything into a CampaignReport.
+ * work-stealing pool with per-cell wall-clock timeout, retry with
+ * exponential backoff on transient failure, and live progress
+ * reporting, then aggregates everything into a CampaignReport.
  *
- * Timeout semantics: each attempt runs on its own thread; if it does
- * not finish within the budget the attempt is classified
- * RunStatus::Timeout and its thread is detached (a simulation cannot
- * be interrupted midway — the orphan finishes or dies with the
- * process; its result is discarded).  Retries apply to Timeout and
- * Crashed outcomes only: CheckFailed and BadRequest are deterministic
- * verdicts and re-running them cannot change the answer.
+ * Two isolation modes (RunnerOptions::isolation):
+ *
+ *  - InProcess (default): each attempt calls runOne() on its own
+ *    thread.  Fast, but a cell that SIGSEGVs takes the campaign down
+ *    with it, and a timed-out attempt's thread can only be detached —
+ *    it burns a core until the process exits.  The count of such
+ *    orphans is tracked (liveOrphanCount()) and surfaced in the
+ *    report.
+ *  - Subprocess: each attempt fork/execs `tsoper_sim` with a memory
+ *    rlimit and a hard SIGKILL on timeout.  A crashing or runaway
+ *    cell is contained: its signal, exit code and stderr tail land in
+ *    the CellReport and nothing outlives the attempt.
+ *
+ * Retries apply to Timeout and Crashed outcomes only: CheckFailed,
+ * BadRequest and Hung are deterministic verdicts and re-running them
+ * cannot change the answer.  Between attempts the cell backs off
+ * exponentially (backoffBaseMs · 2^attempt, capped at backoffMaxMs) so
+ * a machine-level hiccup — OOM pressure, a full /tmp — gets time to
+ * clear.  A cell whose final status is still transient after the last
+ * attempt is *quarantined*: reported separately, excluded from the
+ * per-status totals.
+ *
+ * When a journal is attached (RunnerOptions::journal), every finished
+ * cell is durably appended before the campaign moves on; with
+ * resumeFrom set, cells whose journaled request matches the manifest
+ * are reused verbatim instead of re-run.  See campaign/journal.hh.
  */
 
 #ifndef TSOPER_CAMPAIGN_RUNNER_HH
@@ -22,11 +41,19 @@
 #include <iosfwd>
 #include <vector>
 
+#include "campaign/journal.hh"
 #include "campaign/report.hh"
 #include "campaign/run_request.hh"
+#include "campaign/subprocess.hh"
 
 namespace tsoper::campaign
 {
+
+enum class Isolation
+{
+    InProcess,  ///< runOne() on a pool thread (default).
+    Subprocess, ///< fork/exec tsoper_sim per attempt.
+};
 
 struct RunnerOptions
 {
@@ -39,17 +66,48 @@ struct RunnerOptions
     /** Extra attempts after a Timeout/Crashed outcome. */
     unsigned retries = 1;
 
+    /** How each attempt executes (see file comment). */
+    Isolation isolation = Isolation::InProcess;
+
+    /** Subprocess-mode knobs (binary path, rlimit, stderr cap).  The
+     *  timeout above overrides SubprocessOptions::timeout so both
+     *  modes share one budget. */
+    SubprocessOptions subprocess;
+
+    /** First retry delay; doubles per attempt.  0 disables backoff. */
+    unsigned backoffBaseMs = 250;
+
+    /** Backoff ceiling. */
+    unsigned backoffMaxMs = 10'000;
+
     /** Stream for live per-cell progress lines; nullptr = silent. */
     std::ostream *progress = nullptr;
 
+    /** Write-ahead journal to append finished cells to; nullptr =
+     *  no journaling. */
+    CampaignJournal *journal = nullptr;
+
+    /** Previously journaled cells to reuse instead of re-running;
+     *  nullptr = run everything. */
+    const JournalIndex *resumeFrom = nullptr;
+
     /** Cell executor; defaults to runOne().  Tests substitute fakes
-     *  (hung cells, flaky cells) to exercise timeout/retry. */
+     *  (hung cells, flaky cells) to exercise timeout/retry.  When set
+     *  it is used even in Subprocess mode. */
     std::function<RunResult(const RunRequest &)> cellFn;
 };
 
 /**
- * Run one cell under the timeout/retry policy (no pool involved);
- * the building block runCampaign schedules, exposed for tests.
+ * Attempt threads detached by in-process timeouts that have not (yet)
+ * finished on their own.  Process-global: campaigns accumulate.  The
+ * CLI warns on stderr when this is non-zero at exit.
+ */
+unsigned liveOrphanCount();
+
+/**
+ * Run one cell under the timeout/retry/backoff policy (no pool
+ * involved); the building block runCampaign schedules, exposed for
+ * tests.
  */
 CellReport runCell(const RunRequest &request, const RunnerOptions &opt);
 

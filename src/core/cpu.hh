@@ -93,6 +93,15 @@ class Cpu
     Cycle finishedAt() const { return finishedAt_; }
     std::uint64_t storesIssued() const { return nextStoreSeq_; }
 
+    /** Trace ops retired so far (the watchdog's progress signal). */
+    std::uint64_t opsRetired() const { return pc_; }
+    /** Total ops in this core's trace (0 before setTrace). */
+    std::uint64_t
+    traceOps() const
+    {
+        return trace_ ? trace_->size() : 0;
+    }
+
     /** Invoked once when the core finishes its trace and drains. */
     void onFinished(std::function<void()> fn) { finishedCb_ = std::move(fn); }
 

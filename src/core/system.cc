@@ -1,12 +1,14 @@
 #include "core/system.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "core/bsp_engine.hh"
 #include "core/hwrp_engine.hh"
 #include "core/stw_engine.hh"
 #include "core/tsoper_engine.hh"
 #include "sim/log.hh"
+#include "sim/watchdog.hh"
 
 namespace tsoper
 {
@@ -94,19 +96,22 @@ System::~System() = default;
 Cycle
 System::run(Cycle maxCycles)
 {
+    const WatchdogConfig watchdog{cfg_.watchdogCheckEvents,
+                                  cfg_.watchdogStallChecks,
+                                  /*frozenChecks=*/2};
+    const auto progress = [this] { return progressSignature(); };
+    const auto dump = [this] { return dumpState(); };
+
     for (auto &cpu : cpus_)
         cpu->start();
-    eq_.runUntil([this] { return allFinished(); }, maxCycles);
-    if (!allFinished())
-        tsoper_fatal("simulation did not finish within ", maxCycles,
-                     " cycles (", finishedCount_, "/", cfg_.numCores,
-                     " cores done at cycle ", eq_.now(), ")");
+    runGuarded(eq_, [this] { return allFinished(); }, maxCycles,
+               watchdog, progress, dump, "execution");
     const Cycle finish = finishCycle();
     stats_.counter("sys.exec_cycles").inc(finish);
     bool drained = false;
     engine_->drain([&drained] { drained = true; });
-    eq_.runUntil([&drained] { return drained; }, maxCycles);
-    tsoper_assert(drained, "persistency drain did not complete");
+    runGuarded(eq_, [&drained] { return drained; }, maxCycles, watchdog,
+               progress, dump, "persistency drain");
     stats_.counter("sys.drain_cycles").inc(eq_.now() - finish);
     return finish;
 }
@@ -116,7 +121,30 @@ System::runUntilCrash(Cycle crashAt)
 {
     for (auto &cpu : cpus_)
         cpu->start();
-    eq_.run(crashAt);
+    if (!cfg_.watchdogCheckEvents) {
+        eq_.run(crashAt);
+        return durableImage();
+    }
+    // Reaching crashAt (or draining early) is normal completion here,
+    // so only the livelock checks apply — a zero-delay event cycle
+    // before the crash point would otherwise spin forever inside
+    // EventQueue::run.
+    const WatchdogConfig watchdog{cfg_.watchdogCheckEvents,
+                                  cfg_.watchdogStallChecks,
+                                  /*frozenChecks=*/2};
+    ProgressWatchdog dog(watchdog);
+    const std::function<bool()> never = [] { return false; };
+    for (;;) {
+        const std::uint64_t before = eq_.executed();
+        eq_.runFor(never, crashAt, watchdog.checkEveryEvents);
+        if (eq_.executed() == before || eq_.empty())
+            break; // passed crashAt, or the machine went idle
+        const std::string reason =
+            dog.check(progressSignature(), eq_.now());
+        if (!reason.empty())
+            throw HungError("hung during pre-crash execution: " +
+                            reason + "\n" + dumpState());
+    }
     return durableImage();
 }
 
@@ -145,6 +173,44 @@ bool
 System::allFinished() const
 {
     return finishedCount_ == cfg_.numCores;
+}
+
+std::uint64_t
+System::progressSignature() const
+{
+    // Retired ops cover the execution phase; NVM traffic covers the
+    // drain tail (cores are done, lines are still persisting).  Both
+    // are monotonic, so a flat sum across a watchdog window means
+    // nothing anywhere in the machine moved.
+    std::uint64_t sig = finishedCount_;
+    for (const auto &cpu : cpus_)
+        sig += cpu->opsRetired() + cpu->storesIssued();
+    sig += stats_.get("nvm.writes_done") + stats_.get("nvm.reads");
+    return sig;
+}
+
+std::string
+System::dumpState() const
+{
+    std::ostringstream os;
+    os << "machine state: engine=" << toString(cfg_.engine)
+       << " protocol=" << toString(cfg_.protocol) << " cycle="
+       << eq_.now() << " events=" << eq_.executed() << " pending="
+       << eq_.pending() << "\n";
+    for (unsigned c = 0; c < cfg_.numCores; ++c) {
+        const Cpu &cpu = *cpus_[c];
+        os << "  core " << c << ": " << cpu.opsRetired() << "/"
+           << cpu.traceOps() << " ops, " << cpu.storesIssued()
+           << " stores issued, "
+           << (cpu.finished()
+                   ? "finished@" + std::to_string(cpu.finishedAt())
+                   : std::string("running"))
+           << "\n";
+    }
+    os << "  nvm: " << stats_.get("nvm.writes_issued") << " issued, "
+       << stats_.get("nvm.writes_done") << " done, "
+       << stats_.get("nvm.reads") << " reads";
+    return os.str();
 }
 
 } // namespace tsoper

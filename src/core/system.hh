@@ -54,7 +54,13 @@ class System
      * Run the workload to completion, then drain the persistency
      * engine.  @return the cycle all cores finished (the paper's
      * execution-time metric; the drain tail is excluded).
-     * Fatal if the simulation exceeds @p maxCycles (likely deadlock).
+     *
+     * The run is supervised by the progress watchdog (sim/watchdog.hh,
+     * knobs on SystemConfig): a protocol livelock, a drained event
+     * queue with unfinished cores, or blowing the @p maxCycles budget
+     * all throw HungError carrying dumpState() — which the campaign
+     * layer classifies as RunStatus::Hung instead of an opaque
+     * wall-clock timeout.
      */
     Cycle run(Cycle maxCycles = 4'000'000'000ull);
 
@@ -72,6 +78,16 @@ class System
     Cycle finishCycle() const;
 
     bool allFinished() const;
+
+    /**
+     * Monotonic forward-progress signature: retired ops plus NVM
+     * traffic.  Flat across billions of events == livelock.
+     */
+    std::uint64_t progressSignature() const;
+
+    /** One-screen machine state (per-core progress, queue depth) for
+     *  hung-run diagnostics. */
+    std::string dumpState() const;
 
     StatsRegistry &stats() { return stats_; }
     const StatsRegistry &stats() const { return stats_; }

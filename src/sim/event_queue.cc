@@ -138,4 +138,18 @@ EventQueue::runUntil(const std::function<bool()> &pred, Cycle maxCycle)
     return now_;
 }
 
+Cycle
+EventQueue::runFor(const std::function<bool()> &pred, Cycle maxCycle,
+                   std::uint64_t maxEvents)
+{
+    Cycle when;
+    std::uint64_t ran = 0;
+    while (ran < maxEvents && !pred() && peekNext(&when) &&
+           when <= maxCycle) {
+        execNextAt(when);
+        ++ran;
+    }
+    return now_;
+}
+
 } // namespace tsoper

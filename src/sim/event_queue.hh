@@ -80,6 +80,15 @@ class EventQueue
     Cycle runUntil(const std::function<bool()> &pred,
                    Cycle maxCycle = maxCycle_);
 
+    /**
+     * Like runUntil, but additionally stops after executing at most
+     * @p maxEvents events — the chunked stepping the progress
+     * watchdog (sim/watchdog.hh) uses to inspect the machine between
+     * bursts without a per-event predicate cost.
+     */
+    Cycle runFor(const std::function<bool()> &pred, Cycle maxCycle,
+                 std::uint64_t maxEvents);
+
     Cycle now() const { return now_; }
 
     bool empty() const { return size_ == 0; }

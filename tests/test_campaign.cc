@@ -10,7 +10,11 @@
 #include <thread>
 #include <vector>
 
+#include <cstdio>
+#include <fstream>
+
 #include "campaign/builtin.hh"
+#include "campaign/journal.hh"
 #include "campaign/report.hh"
 #include "campaign/runner.hh"
 #include "campaign/spec.hh"
@@ -220,6 +224,7 @@ TEST(Runner, HungCellClassifiesAsTimeoutAfterRetry)
     RunnerOptions opt;
     opt.timeout = std::chrono::milliseconds(25);
     opt.retries = 1;
+    opt.backoffBaseMs = 0;
     opt.cellFn = [&](const RunRequest &) {
         attempts.fetch_add(1);
         std::this_thread::sleep_for(std::chrono::milliseconds(400));
@@ -233,6 +238,12 @@ TEST(Runner, HungCellClassifiesAsTimeoutAfterRetry)
     EXPECT_EQ(cell.attempts, 2u);
     EXPECT_EQ(attempts.load(), 2);
     EXPECT_NE(cell.result.detail.find("budget"), std::string::npos);
+    // Out of retries with a transient verdict -> quarantined, and the
+    // full attempt history is preserved.
+    EXPECT_TRUE(cell.quarantined);
+    ASSERT_EQ(cell.attemptLog.size(), 2u);
+    EXPECT_EQ(cell.attemptLog[0].status, RunStatus::Timeout);
+    EXPECT_EQ(cell.attemptLog[1].status, RunStatus::Timeout);
     // Orphaned attempt threads outlive runCell; let them drain before
     // their atomics go out of scope.
     std::this_thread::sleep_for(std::chrono::milliseconds(900));
@@ -244,6 +255,7 @@ TEST(Runner, FlakyCellSucceedsOnRetry)
     RunnerOptions opt;
     opt.timeout = std::chrono::milliseconds(5000);
     opt.retries = 1;
+    opt.backoffBaseMs = 0;
     opt.cellFn = [&](const RunRequest &) {
         RunResult res;
         if (attempts.fetch_add(1) == 0) {
@@ -258,6 +270,36 @@ TEST(Runner, FlakyCellSucceedsOnRetry)
     const CellReport cell = runCell(fakeRequest("flaky"), opt);
     EXPECT_EQ(cell.result.status, RunStatus::Ok);
     EXPECT_EQ(cell.attempts, 2u);
+    EXPECT_FALSE(cell.quarantined);
+    ASSERT_EQ(cell.attemptLog.size(), 2u);
+    EXPECT_EQ(cell.attemptLog[0].status, RunStatus::Crashed);
+    EXPECT_EQ(cell.attemptLog[0].detail, "transient");
+    EXPECT_EQ(cell.attemptLog[1].status, RunStatus::Ok);
+}
+
+TEST(Runner, RetriesBackOffExponentially)
+{
+    std::atomic<int> attempts{0};
+    RunnerOptions opt;
+    opt.timeout = std::chrono::milliseconds(5000);
+    opt.retries = 2;
+    opt.backoffBaseMs = 40;
+    opt.cellFn = [&](const RunRequest &) {
+        attempts.fetch_add(1);
+        RunResult res;
+        res.status = RunStatus::Crashed;
+        return res;
+    };
+
+    const auto start = std::chrono::steady_clock::now();
+    const CellReport cell = runCell(fakeRequest("sick"), opt);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start);
+    EXPECT_EQ(attempts.load(), 3);
+    EXPECT_TRUE(cell.quarantined);
+    // Backoff before attempt 2 is 40 ms, before attempt 3 is 80 ms.
+    EXPECT_GE(elapsed.count(), 120);
 }
 
 TEST(Runner, DeterministicVerdictsAreNotRetried)
@@ -288,6 +330,7 @@ TEST(Runner, CampaignAggregatesInExpansionOrder)
     RunnerOptions opt;
     opt.jobs = 4;
     opt.timeout = std::chrono::milliseconds(5000);
+    opt.backoffBaseMs = 0;
     opt.cellFn = [](const RunRequest &r) {
         // Finish out of order on purpose.
         if (r.id == "cell0")
@@ -305,10 +348,45 @@ TEST(Runner, CampaignAggregatesInExpansionOrder)
         EXPECT_EQ(report.cells[i].request.id,
                   "cell" + std::to_string(i));
     EXPECT_EQ(report.count(RunStatus::Ok), 23u);
-    EXPECT_EQ(report.count(RunStatus::Crashed), 1u);
+    // cell7 crashes on every attempt, so it lands in quarantine and
+    // stays out of the per-status totals.
+    EXPECT_EQ(report.count(RunStatus::Crashed), 0u);
+    EXPECT_EQ(report.quarantinedCount(), 1u);
+    EXPECT_TRUE(report.cells[7].quarantined);
     EXPECT_FALSE(report.allOk());
     EXPECT_NE(report.summary().find("23 ok"), std::string::npos);
-    EXPECT_NE(report.summary().find("1 crashed"), std::string::npos);
+    EXPECT_NE(report.summary().find("1 quarantined"), std::string::npos);
+}
+
+TEST(Runner, OrphanedAttemptThreadsAreCounted)
+{
+    const unsigned before = liveOrphanCount();
+
+    std::atomic<bool> release{false};
+    RunnerOptions opt;
+    opt.timeout = std::chrono::milliseconds(25);
+    opt.retries = 0;
+    opt.backoffBaseMs = 0;
+    opt.cellFn = [&](const RunRequest &) {
+        while (!release.load())
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        RunResult res;
+        res.status = RunStatus::Ok;
+        return res;
+    };
+
+    const CampaignReport report =
+        runCampaign("orphans", {fakeRequest("stuck")}, opt);
+    EXPECT_EQ(report.cells[0].result.status, RunStatus::Timeout);
+    EXPECT_GE(report.orphanedThreads, before + 1);
+    EXPECT_NE(report.summary().find("orphaned attempt thread"),
+              std::string::npos);
+
+    // Once the orphan finishes it un-counts itself.
+    release.store(true);
+    for (int i = 0; i < 200 && liveOrphanCount() > before; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(liveOrphanCount(), before);
 }
 
 // --- runOne on the real simulator ------------------------------------
@@ -419,4 +497,167 @@ TEST(Report, WriteAndVerifyFile)
         << err;
     EXPECT_FALSE(verifyReportFile(path, /*requireAllOk=*/true, &err));
     EXPECT_NE(err.find("torn"), std::string::npos);
+}
+
+TEST(Report, CellJsonRoundTripsExactly)
+{
+    CellReport cell;
+    cell.request = fakeRequest("tsoper/radix/x0.1/s1");
+    cell.request.crashAt = 0.5;
+    cell.request.check = true;
+    cell.result.status = RunStatus::Crashed;
+    cell.result.detail = "child killed by SIGSEGV";
+    cell.result.cycles = 987;
+    cell.result.signalName = "SIGSEGV";
+    cell.result.stderrTail = "boom";
+    cell.result.exitCode = 6;
+    cell.attempts = 2;
+    cell.wallMs = 12.5;
+    cell.quarantined = true;
+    cell.attemptLog = {{RunStatus::Crashed, 6.25, "first"},
+                       {RunStatus::Crashed, 6.25, "second"}};
+
+    CellReport back;
+    std::string err;
+    ASSERT_TRUE(cellReportFromJson(cell.toJson(), &back, &err)) << err;
+    // The serialized forms must be byte-identical: journal resume
+    // reuses these verbatim.
+    EXPECT_EQ(back.toJson().dump(), cell.toJson().dump());
+    EXPECT_EQ(back.request, cell.request);
+    EXPECT_TRUE(back.quarantined);
+    ASSERT_EQ(back.attemptLog.size(), 2u);
+    EXPECT_EQ(back.attemptLog[1].detail, "second");
+}
+
+// --- Journal / resume -------------------------------------------------
+
+namespace
+{
+
+CellReport
+okCell(const std::string &id, Cycle cycles)
+{
+    CellReport cell;
+    cell.request = fakeRequest(id);
+    cell.result.status = RunStatus::Ok;
+    cell.result.cycles = cycles;
+    cell.result.stats = Json::object();
+    return cell;
+}
+
+} // namespace
+
+TEST(Journal, AppendAndLoadRoundTrip)
+{
+    const std::string path =
+        ::testing::TempDir() + "tsoper_journal_rt.jsonl";
+    std::string err;
+
+    CampaignJournal journal;
+    ASSERT_TRUE(journal.open(path, "rt", /*truncate=*/true, &err))
+        << err;
+    journal.append(okCell("a", 10));
+    journal.append(okCell("b", 20));
+    journal.close();
+
+    JournalIndex idx;
+    ASSERT_TRUE(loadJournal(path, &idx, &err)) << err;
+    EXPECT_EQ(idx.campaign, "rt");
+    ASSERT_EQ(idx.cells.size(), 2u);
+    EXPECT_EQ(idx.cells.at("a").result.cycles, 10u);
+    EXPECT_EQ(idx.cells.at("b").result.cycles, 20u);
+    std::remove(path.c_str());
+}
+
+TEST(Journal, ToleratesTornFinalLineAndRejectsWrongFormat)
+{
+    const std::string path =
+        ::testing::TempDir() + "tsoper_journal_torn.jsonl";
+    std::string err;
+
+    CampaignJournal journal;
+    ASSERT_TRUE(journal.open(path, "torn", /*truncate=*/true, &err));
+    journal.append(okCell("a", 10));
+    journal.close();
+    {
+        // A crash mid-append leaves a half-written trailing line.
+        std::ofstream os(path, std::ios::app);
+        os << "{\"id\":\"b\",\"status\":\"o";
+    }
+    JournalIndex idx;
+    ASSERT_TRUE(loadJournal(path, &idx, &err)) << err;
+    EXPECT_EQ(idx.cells.size(), 1u);
+    EXPECT_TRUE(idx.cells.count("a"));
+
+    {
+        std::ofstream os(path, std::ios::trunc);
+        os << "{\"format\":\"something/else\"}\n";
+    }
+    EXPECT_FALSE(loadJournal(path, &idx, &err));
+    EXPECT_NE(err.find("journal"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Journal, ResumeRunsOnlyUnjournaledCells)
+{
+    const std::string path =
+        ::testing::TempDir() + "tsoper_journal_resume.jsonl";
+    std::string err;
+
+    std::vector<RunRequest> cells;
+    for (int i = 0; i < 4; ++i)
+        cells.push_back(fakeRequest("cell" + std::to_string(i)));
+
+    std::atomic<int> executed{0};
+    RunnerOptions opt;
+    opt.jobs = 2;
+    opt.backoffBaseMs = 0;
+    opt.cellFn = [&](const RunRequest &r) {
+        executed.fetch_add(1);
+        RunResult res;
+        res.status = RunStatus::Ok;
+        res.cycles = 100 + (r.id.back() - '0');
+        res.stats = Json::object();
+        return res;
+    };
+
+    // First run covers only the first two cells, as if the campaign
+    // was interrupted halfway.
+    CampaignJournal journal;
+    ASSERT_TRUE(journal.open(path, "resume", /*truncate=*/true, &err));
+    opt.journal = &journal;
+    const CampaignReport first = runCampaign(
+        "resume", {cells[0], cells[1]}, opt);
+    journal.close();
+    EXPECT_EQ(executed.load(), 2);
+
+    JournalIndex idx;
+    ASSERT_TRUE(loadJournal(path, &idx, &err)) << err;
+    ASSERT_EQ(idx.cells.size(), 2u);
+
+    // The resumed run executes only the two missing cells...
+    opt.journal = nullptr;
+    opt.resumeFrom = &idx;
+    const CampaignReport second = runCampaign("resume", cells, opt);
+    EXPECT_EQ(executed.load(), 4);
+    EXPECT_EQ(second.resumedCount(), 2u);
+    EXPECT_TRUE(second.allOk());
+
+    // ...and the journaled cells come back byte-identical.
+    for (int i = 0; i < 2; ++i) {
+        EXPECT_TRUE(second.cells[i].fromJournal);
+        EXPECT_EQ(second.cells[i].toJson().dump(),
+                  first.cells[i].toJson().dump());
+    }
+    EXPECT_FALSE(second.cells[2].fromJournal);
+
+    // A journaled cell whose request no longer matches the manifest
+    // (same id, different knobs) is re-run, not reused.
+    std::vector<RunRequest> edited = cells;
+    edited[0].seed = 99;
+    const CampaignReport third = runCampaign("resume", edited, opt);
+    EXPECT_EQ(executed.load(), 4 + 3);
+    EXPECT_FALSE(third.cells[0].fromJournal);
+    EXPECT_TRUE(third.cells[1].fromJournal);
+    std::remove(path.c_str());
 }

@@ -7,13 +7,18 @@
  *   tsoper_campaign --spec=nightly.spec --jobs=4 --verify-out
  *   tsoper_campaign --engines=tsoper,stw --benches=radix,dedup \
  *                   --scales=0.1 --seeds=1,2 --crash-at=0.5 --check
+ *   tsoper_campaign --campaign=fig11 --isolate=subprocess
+ *   tsoper_campaign --campaign=fig11 --resume=results/fig11
  *   tsoper_campaign --list-campaigns
  *   tsoper_campaign --campaign=fig12 --dry-run
  *
  * A campaign expands into the cartesian grid of run manifests, runs
- * them on a work-stealing thread pool (per-cell timeout, one retry on
- * transient failure), and writes one JSON report with every cell's
- * status and full statistics (default: BENCH_campaign.json).
+ * them on a work-stealing thread pool (per-cell timeout, retry with
+ * exponential backoff on transient failure), and writes one JSON
+ * report with every cell's status and full statistics (default:
+ * BENCH_campaign.json).  Every finished cell is also appended durably
+ * to a write-ahead journal (journal.jsonl next to the report) so an
+ * interrupted sweep can be continued with --resume.
  *
  * Options:
  *   --campaign=<name>      built-in campaign (see --list-campaigns)
@@ -29,7 +34,18 @@
  *   --jobs=<n>             worker threads   (default: hardware)
  *   --timeout-ms=<n>       per-cell budget  (default: spec's, 120000)
  *   --retries=<n>          extra attempts   (default: spec's, 1)
+ *   --backoff-ms=<n>       first retry delay, doubling per attempt
+ *                          (default 250; 0 disables backoff)
+ *   --isolate=<mode>       none (default) = run cells in-process;
+ *                          subprocess = fork/exec tsoper_sim per
+ *                          attempt (crash/rlimit containment)
+ *   --sim-bin=<path>       tsoper_sim binary for --isolate=subprocess
+ *                          (default: next to this executable)
+ *   --mem-limit-mb=<n>     RLIMIT_AS per subprocess cell; 0 = none
  *   --out=<file>           report path      (default: BENCH_campaign.json)
+ *   --resume=<dir>         reload <dir>/journal.jsonl and re-run only
+ *                          the cells it does not already cover
+ *   --no-journal           skip the write-ahead journal
  *   --verify-out           re-read the report and fail unless it
  *                          parses and has no failed cells
  *   --dry-run              print the expanded manifests and exit
@@ -38,7 +54,7 @@
  *
  * Exit codes:
  *   0  every cell ok            3  invalid spec / unknown campaign
- *   1  some cells not ok        4  report write / verify failure
+ *   1  some cells not ok        4  report/journal I/O or verify failure
  *   2  usage error
  */
 
@@ -50,6 +66,7 @@
 #include <vector>
 
 #include "campaign/builtin.hh"
+#include "campaign/journal.hh"
 #include "campaign/runner.hh"
 #include "campaign/spec.hh"
 #include "workload/generators.hh"
@@ -65,6 +82,13 @@ struct CliOptions
     std::string campaignName;
     std::string specFile;
     std::string out = "BENCH_campaign.json";
+    bool outTouched = false;
+    std::string resumeDir;
+    std::string isolate = "none";
+    std::string simBin;
+    unsigned memLimitMb = 0;
+    int backoffMs = -1; ///< -1 = keep RunnerOptions' default.
+    bool noJournal = false;
     unsigned jobs = 0;
     int timeoutMs = -1; ///< -1 = take the spec's value.
     int retries = -1;
@@ -83,8 +107,11 @@ usage(int code)
         "usage: tsoper_campaign (--campaign=NAME | --spec=FILE | matrix "
         "flags)\n"
         "                       [--jobs=N] [--timeout-ms=N] [--retries=N]\n"
-        "                       [--out=FILE] [--verify-out] [--dry-run]\n"
-        "                       [--quiet] [--list-campaigns]\n"
+        "                       [--backoff-ms=N] [--isolate=none|subprocess]\n"
+        "                       [--sim-bin=PATH] [--mem-limit-mb=N]\n"
+        "                       [--out=FILE] [--resume=DIR] [--no-journal]\n"
+        "                       [--verify-out] [--dry-run] [--quiet]\n"
+        "                       [--list-campaigns]\n"
         "matrix flags: --engines=a,b|all --benches=a,b|all --scales=f,..\n"
         "              --seeds=n,.. --crash-at=f,.. --check --cores=N\n"
         "              --ag-max-lines=N --agb-slice-lines=N --name=S\n");
@@ -108,6 +135,37 @@ splitCsv(const std::string &s)
         pos = comma + 1;
     }
     return items;
+}
+
+/**
+ * Strict decimal parse for option values: the whole string must be
+ * digits and the result must land in [min, max], otherwise die with a
+ * message that names the flag and its accepted range ("--jobs=8x" and
+ * "--jobs=0" both get a real explanation, not a bare usage dump).
+ */
+unsigned long
+parseBoundedOrDie(const std::string &value, const char *flag,
+                  unsigned long min, unsigned long max)
+{
+    bool numeric = !value.empty();
+    for (char c : value)
+        numeric = numeric && c >= '0' && c <= '9';
+    unsigned long parsed = 0;
+    if (numeric) {
+        try {
+            parsed = std::stoul(value);
+        } catch (const std::exception &) {
+            numeric = false; // out of unsigned long's range
+        }
+    }
+    if (!numeric || parsed < min || parsed > max) {
+        std::fprintf(stderr,
+                     "%s expects an integer between %lu and %lu, got "
+                     "'%s'\n",
+                     flag, min, max, value.c_str());
+        std::exit(2);
+    }
+    return parsed;
 }
 
 template <typename Parse>
@@ -147,13 +205,41 @@ parseCli(int argc, char **argv)
                 opt.specFile = val("--spec=");
             } else if (arg.rfind("--out=", 0) == 0) {
                 opt.out = val("--out=");
+                opt.outTouched = true;
+            } else if (arg.rfind("--resume=", 0) == 0) {
+                opt.resumeDir = val("--resume=");
+            } else if (arg.rfind("--isolate=", 0) == 0) {
+                opt.isolate = val("--isolate=");
+                if (opt.isolate != "none" &&
+                    opt.isolate != "subprocess") {
+                    std::fprintf(stderr,
+                                 "--isolate expects 'none' or "
+                                 "'subprocess', got '%s'\n",
+                                 opt.isolate.c_str());
+                    std::exit(2);
+                }
+            } else if (arg.rfind("--sim-bin=", 0) == 0) {
+                opt.simBin = val("--sim-bin=");
+            } else if (arg.rfind("--mem-limit-mb=", 0) == 0) {
+                opt.memLimitMb = static_cast<unsigned>(
+                    parseBoundedOrDie(val("--mem-limit-mb="),
+                                      "--mem-limit-mb", 0, 1 << 20));
+            } else if (arg.rfind("--backoff-ms=", 0) == 0) {
+                opt.backoffMs = static_cast<int>(
+                    parseBoundedOrDie(val("--backoff-ms="),
+                                      "--backoff-ms", 0, 3'600'000));
+            } else if (arg == "--no-journal") {
+                opt.noJournal = true;
             } else if (arg.rfind("--jobs=", 0) == 0) {
-                opt.jobs = static_cast<unsigned>(
-                    std::stoul(val("--jobs=")));
+                opt.jobs = static_cast<unsigned>(parseBoundedOrDie(
+                    val("--jobs="), "--jobs", 1, 1024));
             } else if (arg.rfind("--timeout-ms=", 0) == 0) {
-                opt.timeoutMs = std::stoi(val("--timeout-ms="));
+                opt.timeoutMs = static_cast<int>(
+                    parseBoundedOrDie(val("--timeout-ms="),
+                                      "--timeout-ms", 0, 86'400'000));
             } else if (arg.rfind("--retries=", 0) == 0) {
-                opt.retries = std::stoi(val("--retries="));
+                opt.retries = static_cast<int>(parseBoundedOrDie(
+                    val("--retries="), "--retries", 0, 100));
             } else if (arg == "--verify-out") {
                 opt.verifyOut = true;
             } else if (arg == "--dry-run") {
@@ -226,7 +312,7 @@ parseCli(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    const CliOptions opt = parseCli(argc, argv);
+    CliOptions opt = parseCli(argc, argv);
 
     if (opt.listCampaigns) {
         for (const BuiltinCampaign &c : builtinCampaigns())
@@ -280,17 +366,12 @@ main(int argc, char **argv)
         return 0;
     }
 
-    {
-        // Fail before the campaign runs, not after, if the report
-        // path is unwritable.  Append mode leaves an existing report
-        // intact when a later step aborts.
-        std::ofstream probe(opt.out, std::ios::app);
-        if (!probe) {
-            std::fprintf(stderr, "cannot open for writing: %s\n",
-                         opt.out.c_str());
-            return 4;
-        }
-    }
+    // --resume=DIR means "continue the sweep living in DIR": the
+    // journal is loaded from there, and unless --out says otherwise
+    // the report lands there too.
+    const bool resuming = !opt.resumeDir.empty();
+    if (resuming && !opt.outTouched)
+        opt.out = opt.resumeDir + "/" + opt.out;
 
     RunnerOptions runner;
     runner.jobs = opt.jobs;
@@ -300,15 +381,76 @@ main(int argc, char **argv)
     runner.retries = opt.retries >= 0
                          ? static_cast<unsigned>(opt.retries)
                          : spec.retries;
+    if (opt.backoffMs >= 0)
+        runner.backoffBaseMs = static_cast<unsigned>(opt.backoffMs);
+    if (opt.isolate == "subprocess") {
+        runner.isolation = Isolation::Subprocess;
+        runner.subprocess.simBinary = opt.simBin;
+        runner.subprocess.memLimitMb = opt.memLimitMb;
+    }
     if (!opt.quiet)
         runner.progress = &std::cerr;
 
-    std::printf("campaign %s: %zu cells on %u jobs\n",
+    JournalIndex resumeIndex;
+    if (resuming) {
+        const std::string jpath = opt.resumeDir + "/journal.jsonl";
+        std::string err;
+        if (!loadJournal(jpath, &resumeIndex, &err)) {
+            std::fprintf(stderr, "cannot resume: %s\n", err.c_str());
+            return 4;
+        }
+        if (!resumeIndex.campaign.empty() &&
+            resumeIndex.campaign != spec.name) {
+            std::fprintf(stderr,
+                         "cannot resume: journal %s belongs to "
+                         "campaign '%s', not '%s'\n",
+                         jpath.c_str(), resumeIndex.campaign.c_str(),
+                         spec.name.c_str());
+            return 4;
+        }
+        runner.resumeFrom = &resumeIndex;
+    }
+
+    {
+        // Fail before the campaign runs, not after, if the report
+        // path is unwritable.  Append mode leaves an existing report
+        // intact when a later step aborts.  This runs after the
+        // resume load so a bad --resume directory names the journal,
+        // not the report, in its error.
+        std::ofstream probe(opt.out, std::ios::app);
+        if (!probe) {
+            std::fprintf(stderr, "cannot open for writing: %s\n",
+                         opt.out.c_str());
+            return 4;
+        }
+    }
+
+    CampaignJournal journal;
+    if (!opt.noJournal) {
+        const std::string jpath = journalPathFor(opt.out);
+        std::string err;
+        if (!journal.open(jpath, spec.name, /*truncate=*/!resuming,
+                          &err)) {
+            // A read-only results directory should not kill the sweep;
+            // it just loses resumability.
+            std::fprintf(stderr, "warning: %s; continuing without a "
+                                 "journal\n",
+                         err.c_str());
+        } else {
+            runner.journal = &journal;
+        }
+    }
+
+    std::printf("campaign %s: %zu cells on %u jobs%s\n",
                 spec.name.c_str(), cells.size(),
                 runner.jobs ? runner.jobs
-                            : std::thread::hardware_concurrency());
+                            : std::thread::hardware_concurrency(),
+                runner.isolation == Isolation::Subprocess
+                    ? " (subprocess isolation)"
+                    : "");
 
     CampaignReport report = runCampaign(spec.name, cells, runner);
+    journal.close();
 
     std::string err;
     if (!writeReportFile(report, opt.out, &err)) {
@@ -318,6 +460,14 @@ main(int argc, char **argv)
     std::printf("%s\nreport written to %s (%.0f ms wall)\n",
                 report.summary().c_str(), opt.out.c_str(),
                 report.wallMs);
+
+    if (const unsigned orphans = liveOrphanCount())
+        std::fprintf(stderr,
+                     "warning: %u timed-out attempt thread%s still "
+                     "running detached; %s with the process "
+                     "(use --isolate=subprocess for hard kills)\n",
+                     orphans, orphans == 1 ? "" : "s",
+                     orphans == 1 ? "it dies" : "they die");
 
     if (opt.verifyOut &&
         !verifyReportFile(opt.out, /*requireAllOk=*/true, &err)) {

@@ -32,6 +32,13 @@
  *   --save-trace=<file>    save the generated workload and exit
  *   --describe             print the configuration and exit
  *   --list-benchmarks      print available profiles and exit
+ *   --max-cycles=<n>       simulated-cycle budget (default 4e9)
+ *   --result-json=<file>   write the full campaign::RunResult as JSON
+ *                          (the subprocess executor's wire format)
+ *   --selftest=<mode>      fault-injection hooks for the subprocess
+ *                          executor's tests: "segv" raises SIGSEGV,
+ *                          "hang" sleeps forever (until SIGKILL),
+ *                          "gulp" allocates until the rlimit kills it
  *
  * Exit codes (stable; the campaign runner and scripts classify on
  * them — keep docs/campaigns.md in sync):
@@ -42,13 +49,20 @@
  *   4  unknown --bench
  *   5  invalid workload (bad trace file or failed validation)
  *   6  simulation error (internal panic/fatal, e.g. deadlock)
+ *   7  hung (the progress watchdog proved a livelock, or the
+ *      simulated-cycle budget ran out)
  */
 
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
+
+#include <unistd.h>
 
 #include "campaign/run_request.hh"
 #include "core/system.hh"
@@ -70,6 +84,7 @@ enum ExitCode
     ExitUnknownBench = 4,
     ExitInvalidWorkload = 5,
     ExitSimError = 6,
+    ExitHung = 7,
 };
 
 struct CliOptions
@@ -78,10 +93,43 @@ struct CliOptions
     std::string saveTrace;
     std::string statsOut;
     std::string statsJson;
+    std::string resultJson;
+    std::string selftest;
     bool stats = false;
     bool describe = false;
     bool listBenchmarks = false;
 };
+
+/**
+ * Deliberate misbehaviour for the subprocess executor's ctest: a
+ * SIGSEGV-ing, a hanging, and an over-rlimit child must all be
+ * contained, classified, and reaped (docs/campaigns.md "Isolation
+ * modes").
+ */
+[[noreturn]] void
+runSelftest(const std::string &mode)
+{
+    if (mode == "segv") {
+        std::raise(SIGSEGV);
+    } else if (mode == "hang") {
+        for (;;)
+            ::pause(); // burn no CPU; die only by signal
+    } else if (mode == "gulp") {
+        // Allocate-and-touch until RLIMIT_AS stops us (bad_alloc ->
+        // std::terminate -> SIGABRT).  Hard 1 GiB cap so a run
+        // without an rlimit terminates instead of eating the host.
+        std::vector<std::unique_ptr<char[]>> hoard;
+        constexpr std::size_t chunk = 16u << 20;
+        for (std::size_t total = 0; total < (1u << 30); total += chunk) {
+            hoard.push_back(std::make_unique<char[]>(chunk));
+            for (std::size_t i = 0; i < chunk; i += 4096)
+                hoard.back()[i] = 1;
+        }
+        std::exit(ExitOk);
+    }
+    std::fprintf(stderr, "unknown --selftest mode: %s\n", mode.c_str());
+    std::exit(ExitUsage);
+}
 
 [[noreturn]] void
 usage(int code)
@@ -90,9 +138,10 @@ usage(int code)
                 "[--scale=F] [--seed=N]\n"
                 "                  [--cores=N] [--crash-at=C] [--check] "
                 "[--stats] [--stats-out=F]\n"
-                "                  [--stats-json=F] [--save-trace=F] "
-                "[--describe]\n"
-                "                  [--list-benchmarks]\n");
+                "                  [--stats-json=F] [--result-json=F] "
+                "[--max-cycles=N]\n"
+                "                  [--save-trace=F] [--describe] "
+                "[--list-benchmarks]\n");
     std::exit(code);
 }
 
@@ -118,6 +167,12 @@ parseCli(int argc, char **argv)
                 opt.statsOut = val("--stats-out=");
             else if (arg.rfind("--stats-json=", 0) == 0)
                 opt.statsJson = val("--stats-json=");
+            else if (arg.rfind("--result-json=", 0) == 0)
+                opt.resultJson = val("--result-json=");
+            else if (arg.rfind("--selftest=", 0) == 0)
+                opt.selftest = val("--selftest=");
+            else if (arg.rfind("--max-cycles=", 0) == 0)
+                opt.run.maxCycles = std::stoull(val("--max-cycles="));
             else if (arg.rfind("--scale=", 0) == 0)
                 opt.run.scale = std::stod(val("--scale="));
             else if (arg.rfind("--seed=", 0) == 0)
@@ -163,6 +218,9 @@ int
 main(int argc, char **argv)
 {
     const CliOptions opt = parseCli(argc, argv);
+
+    if (!opt.selftest.empty())
+        runSelftest(opt.selftest);
 
     if (opt.listBenchmarks) {
         for (const Profile &p : allProfiles())
@@ -232,6 +290,19 @@ main(int argc, char **argv)
 
     const campaign::RunResult res = campaign::runOne(opt.run, hooks);
 
+    // The subprocess executor's wire format: write it for every
+    // verdict runOne can produce, so the parent recovers the detail
+    // and stats even for failed cells.
+    if (!opt.resultJson.empty()) {
+        std::ofstream os(opt.resultJson);
+        os << campaign::runResultToJson(res).dump(2) << "\n";
+        if (!os.flush()) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         opt.resultJson.c_str());
+            return ExitUsage;
+        }
+    }
+
     switch (res.status) {
       case campaign::RunStatus::BadRequest:
         std::fprintf(stderr, "%s\n", res.detail.c_str());
@@ -239,6 +310,9 @@ main(int argc, char **argv)
       case campaign::RunStatus::Crashed:
         std::fprintf(stderr, "%s\n", res.detail.c_str());
         return ExitSimError;
+      case campaign::RunStatus::Hung:
+        std::fprintf(stderr, "%s\n", res.detail.c_str());
+        return ExitHung;
       default:
         break;
     }
