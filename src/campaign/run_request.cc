@@ -5,6 +5,7 @@
 #include "core/recovery.hh"
 #include "core/system.hh"
 #include "sim/stats_json.hh"
+#include "sim/trace_sink.hh"
 #include "sim/watchdog.hh"
 #include "workload/generators.hh"
 #include "workload/trace_io.hh"
@@ -66,6 +67,18 @@ RunRequest::toJson() const
     if (crashAt > 0.0)
         j.set("crash_at", Json(crashAt));
     j.set("check", Json(check));
+    // Trace fields only appear when set, so journals written before the
+    // tracing layer still round-trip equal.
+    if (!traceCategories.empty())
+        j.set("trace_categories", Json(traceCategories));
+    if (!traceOut.empty())
+        j.set("trace_out", Json(traceOut));
+    if (auditPersists)
+        j.set("audit_persists", Json(true));
+    if (!auditFault.empty())
+        j.set("audit_fault", Json(auditFault));
+    if (flightRecorder)
+        j.set("flight_recorder", Json(flightRecorder));
     j.set("max_cycles", Json(maxCycles));
     return j;
 }
@@ -96,6 +109,16 @@ runRequestFromJson(const Json &j)
         r.crashAt = v->asDouble();
     if (const Json *v = j.find("check"); v && v->isBool())
         r.check = v->asBool();
+    if (const Json *v = j.find("trace_categories"); v && v->isString())
+        r.traceCategories = v->asString();
+    if (const Json *v = j.find("trace_out"); v && v->isString())
+        r.traceOut = v->asString();
+    if (const Json *v = j.find("audit_persists"); v && v->isBool())
+        r.auditPersists = v->asBool();
+    if (const Json *v = j.find("audit_fault"); v && v->isString())
+        r.auditFault = v->asString();
+    if (const Json *v = j.find("flight_recorder"); v && v->isNumber())
+        r.flightRecorder = static_cast<unsigned>(v->asUint());
     if (const Json *v = j.find("max_cycles"); v && v->isNumber())
         r.maxCycles = v->asUint();
     return r;
@@ -122,6 +145,16 @@ runResultToJson(const RunResult &res)
             .set("buffer_recovered_lines", Json(res.bufferRecoveredLines))
             .set("required_stores", Json(res.requiredStores));
         j.set("audit", std::move(audit));
+    }
+    if (res.persistAudited) {
+        Json audit = Json::object();
+        audit.set("ok", Json(res.persistAuditOk));
+        if (!res.persistAuditDetail.empty())
+            audit.set("detail", Json(res.persistAuditDetail));
+        audit.set("commits", Json(res.persistCommits))
+            .set("edges", Json(res.persistEdges))
+            .set("groups", Json(res.persistGroups));
+        j.set("persist_audit", std::move(audit));
     }
     if (res.exitCode != -1)
         j.set("exit_code", Json(res.exitCode));
@@ -176,6 +209,20 @@ runResultFromJson(const Json &j, RunResult *out, std::string *err)
         if (const Json *v = audit->find("required_stores");
             v && v->isNumber())
             out->requiredStores = v->asUint();
+    }
+    if (const Json *audit = j.find("persist_audit");
+        audit && audit->isObject()) {
+        out->persistAudited = true;
+        if (const Json *v = audit->find("ok"); v && v->isBool())
+            out->persistAuditOk = v->asBool();
+        if (const Json *v = audit->find("detail"); v && v->isString())
+            out->persistAuditDetail = v->asString();
+        if (const Json *v = audit->find("commits"); v && v->isNumber())
+            out->persistCommits = v->asUint();
+        if (const Json *v = audit->find("edges"); v && v->isNumber())
+            out->persistEdges = v->asUint();
+        if (const Json *v = audit->find("groups"); v && v->isNumber())
+            out->persistGroups = v->asUint();
     }
     if (const Json *v = j.find("exit_code"); v && v->isNumber())
         out->exitCode = static_cast<int>(v->asInt());
@@ -264,6 +311,50 @@ runOne(const RunRequest &r, const RunHooks &hooks)
     res.ops = w.totalOps();
     res.stores = w.totalStores();
 
+    trace::TraceOptions topt;
+    topt.categories = r.traceCategories;
+    topt.perfettoPath = r.traceOut;
+    topt.auditPersists = r.auditPersists;
+    topt.auditFault = r.auditFault;
+    topt.flightRecorderDepth = r.flightRecorder;
+    topt.faultSeed = r.seed;
+    // Only TSOPER and STW persist each core's groups strictly in
+    // creation order; BSP skips empty epochs and HW-RP interleaves
+    // spontaneous persists, so they get the order-graph checks only.
+    topt.strictCoreFifo = cfg.engine == EngineKind::Tsoper ||
+                          cfg.engine == EngineKind::Stw;
+
+    // Started just before the measured System is built (crash requests
+    // run an untraced timing run first whose restarted group ids would
+    // otherwise pollute the audit log).
+    std::unique_ptr<trace::TraceSession> session;
+    const auto startTrace = [&] {
+        if (topt.any())
+            session = std::make_unique<trace::TraceSession>(topt);
+    };
+    const auto finishTrace = [&] {
+        if (!session)
+            return;
+        const trace::TraceSession::Outcome out = session->finish();
+        if (out.audited) {
+            res.persistAudited = true;
+            res.persistAuditOk = out.audit.ok;
+            res.persistAuditDetail = out.audit.detail;
+            res.persistCommits = out.audit.commits;
+            res.persistEdges = out.audit.edges;
+            res.persistGroups = out.audit.groups;
+            if (!out.audit.ok && res.status == RunStatus::Ok) {
+                res.status = RunStatus::CheckFailed;
+                res.detail = out.audit.detail;
+            }
+        }
+        if (!out.perfettoError.empty() &&
+            res.status == RunStatus::Ok) {
+            res.status = RunStatus::Crashed;
+            res.detail = out.perfettoError;
+        }
+    };
+
     try {
         const PersistModel model = cfg.engine == EngineKind::HwRp
                                        ? PersistModel::RelaxedSfr
@@ -280,21 +371,28 @@ runOne(const RunRequest &r, const RunHooks &hooks)
                 res.drainCycles =
                     timing.stats().get("sys.drain_cycles");
             }
+            startTrace();
             System sys(cfg, w);
             sys.runUntilCrash(crashCycle);
             res.crashCycle = crashCycle;
             res.status = RunStatus::Ok;
             fillAudit(&res, recover(sys, model));
+            // The checks are prefix-sound (groups the cold stop left
+            // incomplete are skipped), so the audit applies to the
+            // pre-crash persist stream as well.
+            finishTrace();
             res.stats = statsToJson(sys.stats());
             if (hooks.onFinished)
                 hooks.onFinished(sys);
             return res;
         }
 
+        startTrace();
         System sys(cfg, w);
         res.cycles = sys.run(r.maxCycles);
         res.drainCycles = sys.stats().get("sys.drain_cycles");
         res.status = RunStatus::Ok;
+        finishTrace();
         if (r.check)
             fillAudit(&res, recover(sys, model));
         res.stats = statsToJson(sys.stats());

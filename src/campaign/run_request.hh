@@ -54,6 +54,16 @@ struct RunRequest
      *  strict-TSO contract, or SFR for hwrp). */
     bool check = false;
 
+    // --- Structured tracing (sim/trace.hh, docs/observability.md).
+    // For fractional crashAt requests only the measured (crash) run is
+    // traced, never the preliminary timing run.
+    std::string traceCategories; ///< Trace-bus categories csv; "" = off.
+    std::string traceOut;        ///< Perfetto trace_event JSON path.
+    bool auditPersists = false;  ///< Persist-order audit after the run.
+    std::string auditFault;      ///< "" or "reorder": corrupt the audit
+                                 ///  log to prove the checker rejects it.
+    unsigned flightRecorder = 0; ///< Flight-recorder depth (records).
+
     /** Simulated-cycle cap (deadlock backstop). */
     Cycle maxCycles = 4'000'000'000ull;
 
@@ -110,6 +120,14 @@ struct RunResult
     std::uint64_t durableWords = 0;
     std::uint64_t bufferRecoveredLines = 0;
     std::uint64_t requiredStores = 0;
+
+    // Persist-order audit (--audit-persists; sim/trace_sink.hh).
+    bool persistAudited = false;
+    bool persistAuditOk = false;
+    std::string persistAuditDetail; ///< First violation, if any.
+    std::uint64_t persistCommits = 0;
+    std::uint64_t persistEdges = 0;
+    std::uint64_t persistGroups = 0;
 
     /** statsToJson() of the run's registry (null if the run never
      *  constructed a System). */

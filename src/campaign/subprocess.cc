@@ -17,6 +17,8 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "sim/debug.hh"
+
 namespace tsoper::campaign
 {
 
@@ -140,6 +142,17 @@ requestToArgv(const RunRequest &r, const std::string &simBinary)
         argv.push_back("--crash-at=" + formatDouble(r.crashAt));
     if (r.check)
         argv.push_back("--check");
+    if (!r.traceCategories.empty())
+        argv.push_back("--trace-categories=" + r.traceCategories);
+    if (!r.traceOut.empty())
+        argv.push_back("--trace-out=" + r.traceOut);
+    if (r.auditPersists)
+        argv.push_back("--audit-persists");
+    if (!r.auditFault.empty())
+        argv.push_back("--audit-fault=" + r.auditFault);
+    if (r.flightRecorder)
+        argv.push_back("--flight-recorder=" +
+                       std::to_string(r.flightRecorder));
     argv.push_back("--max-cycles=" + std::to_string(r.maxCycles));
     return argv;
 }
@@ -192,6 +205,9 @@ runSubprocess(const RunRequest &r, const SubprocessOptions &opt)
         cargv.push_back(a.data());
     cargv.push_back(nullptr);
 
+    // Resolved before fork: the child only setenv()s a ready string.
+    const std::string debugFlags = debug::flagsCsv();
+
     int errPipe[2];
     if (::pipe(errPipe) != 0)
         return fail(std::string("pipe: ") + std::strerror(errno));
@@ -205,7 +221,10 @@ runSubprocess(const RunRequest &r, const SubprocessOptions &opt)
 
     if (pid == 0) {
         // Child: cap memory, route stderr into the pipe, silence the
-        // banner on stdout, become tsoper_sim.
+        // banner on stdout, become tsoper_sim.  Debug flags enabled in
+        // this process follow the cell across the exec.
+        if (!debugFlags.empty())
+            ::setenv("TSOPER_DEBUG", debugFlags.c_str(), 1);
         if (opt.memLimitMb) {
             const rlim_t bytes =
                 static_cast<rlim_t>(opt.memLimitMb) << 20;

@@ -5,6 +5,7 @@
 
 #include "sim/debug.hh"
 #include "sim/log.hh"
+#include "sim/trace.hh"
 
 namespace tsoper
 {
@@ -311,6 +312,7 @@ SlcProtocol::storeTxn(CoreId core, Addr addr, StoreId store, StoreDone done,
     TSOPER_TRACE(Slc, t, "core " << core << " is the new head writer of "
                  "line 0x" << std::hex << line << std::dec
                  << " (permission at " << permissionAt << ")");
+    trace::instant(trace::Event::SlcNewHead, core, t, line);
     n->words[wordOf(addr)] = store;
     n->dirty = true;
     hooks_->onStoreCommitted(core, line, t);
@@ -378,6 +380,8 @@ SlcProtocol::invalidateBelow(CoreId newHead, LineAddr line, Cycle t,
                          << std::hex << line << std::dec
                          << " invalidated non-destructively (dirty="
                          << v.dirty << ")");
+            trace::instant(trace::Event::SlcInvalidate, cur, t, line,
+                           v.dirty);
             // Background invalidation message (traffic accounting only;
             // write permission was already granted at link-up, OBS 3).
             mesh_.route(mesh_.bankNode(bankOf(line)), mesh_.coreNode(cur),
@@ -483,6 +487,7 @@ SlcProtocol::teardownEntry(LineAddr victim, Cycle t)
     e.zombie = true;
     TSOPER_TRACE(Slc, t, "directory eviction of line 0x" << std::hex
                  << victim << std::dec << ": teardown begins");
+    trace::instant(trace::Event::SlcDirEvict, invalidCore, t, victim);
     capacity_.evictBufferEnter(victim);
     // Invalidate every valid node; dirty versions freeze their AGs and
     // persist from the side buffer (§III-B).
@@ -658,6 +663,7 @@ SlcProtocol::persistComplete(CoreId core, LineAddr line, Cycle now)
     TSOPER_TRACE(Slc, now, "core " << core << "'s version of line 0x"
                  << std::hex << line << std::dec
                  << " persisted (valid=" << n.valid << ")");
+    trace::instant(trace::Event::SlcPersist, core, now, line);
     const CoreId above = n.bwd;
     if (!n.valid || n.evicted) {
         unlinkNode(core, line, now);

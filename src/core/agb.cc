@@ -4,6 +4,7 @@
 
 #include "sim/debug.hh"
 #include "sim/log.hh"
+#include "sim/trace.hh"
 
 namespace tsoper
 {
@@ -40,11 +41,13 @@ Agb::fits(const AgRec &ag) const
 
 Agb::AgHandle
 Agb::requestAllocation(CoreId from, std::vector<LineAddr> lines,
-                       std::function<void(Cycle)> granted)
+                       std::function<void(Cycle)> granted,
+                       std::uint64_t auditTag)
 {
     const AgHandle h = nextHandle_++;
     AgRec &ag = ags_[h];
     ag.handle = h;
+    ag.auditTag = auditTag ? auditTag : h;
     ag.from = from;
     ag.lines = std::move(lines);
     ag.sliceNeeds.assign(slices_, 0);
@@ -98,6 +101,10 @@ Agb::grant(AgRec &ag)
     for (unsigned s = 0; s < slices_; ++s)
         total += sliceUsed_[s];
     occupancyHist_.add(total);
+    trace::instant(trace::Event::AgbGrant, ag.from, eq_.now(),
+                   ag.auditTag, ag.lines.size(), total);
+    trace::counter(trace::Event::AgbOccupancy, invalidCore, eq_.now(),
+                   total);
     fifo_.push_back(ag.handle);
     // Broadcast the grant back to the requesting L1.
     const Cycle grantAt = mesh_.route(arbiterNode_,
@@ -140,12 +147,18 @@ Agb::bufferLine(AgHandle h, LineAddr line, const LineWords &words,
     slicePortBusy_[s] = complete;
     linesBuffered_.inc();
     persistWb_.inc();
+    trace::instant(trace::Event::PersistIssue, ag.from, eq_.now(), line,
+                   ag.auditTag);
     eq_.schedule(complete, [this, h, line, words, done] {
         auto iter = ags_.find(h);
         tsoper_assert(iter != ags_.end());
         AgRec &rec = iter->second;
         rec.buffered.emplace(line, words);
         --rec.remaining;
+        // The AGB SRAM is power-backed: a buffered line is already in
+        // the persistent domain, so this is its durable point.
+        trace::instant(trace::Event::PersistCommit, rec.from, eq_.now(),
+                       line, rec.auditTag);
         // LLC inclusion of AGB contents (the paper's §II-B future
         // optimization): the line is pinned in the LLC until its NVM
         // write completes, so loads never search the AGB and no LLC
@@ -176,6 +189,10 @@ Agb::advanceCommitted()
         // Advance the prefix before draining: an empty AG retires
         // synchronously inside drainAg and pops itself off the FIFO.
         ++committedPrefix_;
+        // Joining the committed prefix is the AG's atomic durable
+        // point under the crash rule above.
+        trace::instant(trace::Event::GroupDurable, ag.from, eq_.now(),
+                       ag.auditTag, ag.lines.size());
         if (!ag.drainIssued) {
             ag.drainIssued = true;
             drainAg(ag);
@@ -202,6 +219,13 @@ Agb::drainAg(AgRec &ag)
             llc_.unpinForAgb(line);
             tsoper_assert(sliceUsed_[s] > 0);
             --sliceUsed_[s];
+            if (trace::on(trace::Category::Agb)) {
+                unsigned total = 0;
+                for (unsigned sl = 0; sl < slices_; ++sl)
+                    total += sliceUsed_[sl];
+                trace::counter(trace::Event::AgbOccupancy, invalidCore,
+                               eq_.now(), total);
+            }
             auto it = ags_.find(h);
             tsoper_assert(it != ags_.end());
             --it->second.undrained;
@@ -219,6 +243,8 @@ Agb::maybeRetire(AgHandle h)
     if (it->second.undrained != 0 || !it->second.drainIssued)
         return;
     // Fully durable in NVM: drop the record and compact the FIFO head.
+    trace::instant(trace::Event::AgbDrained, it->second.from, eq_.now(),
+                   it->second.auditTag);
     ags_.erase(it);
     while (!fifo_.empty() && !ags_.count(fifo_.front())) {
         fifo_.pop_front();

@@ -59,9 +59,13 @@ class Agb
      * FIFO order once every needed slice has room; @p granted fires at
      * the grant instant.  An AG larger than the AGB capacity is fatal
      * (the hard AG size cap prevents it).
+     *
+     * @p auditTag names the group in the structured trace / persist
+     * audit (trace::groupTag); 0 falls back to the returned handle.
      */
     AgHandle requestAllocation(CoreId from, std::vector<LineAddr> lines,
-                               std::function<void(Cycle)> granted);
+                               std::function<void(Cycle)> granted,
+                               std::uint64_t auditTag = 0);
 
     /**
      * Stream one line of a granted AG into its slice. @p done fires
@@ -91,6 +95,7 @@ class Agb
     struct AgRec
     {
         AgHandle handle = 0;
+        std::uint64_t auditTag = 0;
         CoreId from = invalidCore;
         std::vector<LineAddr> lines;
         std::vector<unsigned> sliceNeeds;

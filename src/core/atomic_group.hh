@@ -54,6 +54,7 @@ struct AtomicGroup
     /** Members whose sharing-list node is not yet the tail. */
     std::unordered_set<LineAddr> waitingTail;
     std::uint64_t storeCount = 0; ///< Dynamic stores absorbed (Fig. 15).
+    Cycle openedAt = 0; ///< First member's commit cycle (trace spans).
     bool frozen = false;
     FreezeReason freezeReason = FreezeReason::SizeCap;
     bool allocRequested = false;
@@ -135,6 +136,16 @@ class AgManager
     bool empty() const { return queue_.empty(); }
 
     AgId nextId() const { return nextId_; }
+
+    /** Id of the open AG, or of the AG that would open next — the group
+     *  an incoming pb dependence lands in (trace pb-edges). */
+    AgId
+    openOrNextId() const
+    {
+        if (!queue_.empty() && !queue_.back()->frozen)
+            return queue_.back()->id;
+        return nextId_;
+    }
 
   private:
     AtomicGroup &openGroup();

@@ -4,6 +4,7 @@
 
 #include "sim/debug.hh"
 #include "sim/log.hh"
+#include "sim/trace.hh"
 
 namespace tsoper
 {
@@ -15,7 +16,7 @@ BspEngine::BspEngine(const SystemConfig &cfg, EventQueue &eq, Mesh &mesh,
     : cfg_(cfg), eq_(eq), mesh_(mesh), llc_(llc), nvm_(nvm), mesi_(mesi),
       slc_(slc), agb_(agb), mode_(mode), banks_(cfg.llcBanks),
       epochs_(cfg.numCores), latest_(cfg.numCores),
-      storeWaiters_(cfg.numCores),
+      carriedDeps_(cfg.numCores), storeWaiters_(cfg.numCores),
       epochsClosed_(stats.counter("bsp.epochs_closed")),
       epochBreaks_(stats.counter("bsp.epoch_breaks")),
       persistWb_(stats.counter("traffic.persist_wb")),
@@ -39,6 +40,16 @@ BspEngine::openEpoch(CoreId core)
         auto e = std::make_shared<Epoch>();
         e->uid = nextUid_++;
         e->core = core;
+        e->openedAt = eq_.now();
+        auto &carried = carriedDeps_[static_cast<unsigned>(core)];
+        for (EpochPtr &dep : carried) {
+            if (dep->persisted)
+                continue;
+            trace::instant(trace::Event::PbEdge, core, eq_.now(),
+                           dep->uid, e->uid);
+            e->deps.push_back(std::move(dep));
+        }
+        carried.clear();
         q.push_back(std::move(e));
         ++outstanding_;
     }
@@ -127,6 +138,8 @@ BspEngine::onDirtyExpose(CoreId owner, LineAddr line, CoreId requester,
     if (requester != owner && !e->persisted) {
         Epoch &mine = openEpoch(requester);
         mine.deps.push_back(e);
+        trace::instant(trace::Event::PbEdge, owner, now, e->uid,
+                       mine.uid);
     }
     if (mode_ != Mode::Bsp)
         return now; // SLC multiversioning: no L1 exclusion.
@@ -151,6 +164,8 @@ BspEngine::closeEpoch(CoreId core, Cycle now)
                  << " closed (" << e->order.size() << " lines, "
                  << e->storeCount << " stores)");
     epochLines_.add(e->order.size());
+    trace::instant(trace::Event::EpochClosed, core, now, e->uid,
+                   e->order.size(), e->storeCount);
     for (LineAddr line : e->order)
         snapshot(*e, line);
     e->pending = 0;
@@ -168,6 +183,15 @@ BspEngine::closeEpoch(CoreId core, Cycle now)
         }
     }
     if (e->pending == 0) {
+        // Nothing to persist: the epoch completes immediately (no
+        // durable point, no throttling), but its persist-before deps
+        // must not evaporate — the core's next epoch inherits them.
+        auto &carried = carriedDeps_[static_cast<unsigned>(core)];
+        for (const EpochPtr &dep : e->deps) {
+            if (!dep->persisted)
+                carried.push_back(dep);
+        }
+        e->deps.clear();
         markPersisted(e);
         return;
     }
@@ -248,9 +272,15 @@ BspEngine::issueNvmWrites(const EpochPtr &e, Cycle now)
         const Cycle completion =
             nvm_.write(line, e->words.at(line), ready);
         persistWb_.inc();
+        trace::instant(trace::Event::PersistIssue, e->core, ready, line,
+                       e->uid);
         lineNvmReady_[line] = completion;
         llc_.setPersistPending(line, completion);
-        eq_.schedule(completion, [this, e] { epochLineDone(e, 0); });
+        eq_.schedule(completion, [this, e, line] {
+            trace::instant(trace::Event::PersistCommit, e->core,
+                           eq_.now(), line, e->uid);
+            epochLineDone(e, 0);
+        });
     }
 }
 
@@ -269,7 +299,8 @@ BspEngine::persistViaAgb(const EpochPtr &e, Cycle now)
         return;
     }
     e->handle = agb_->requestAllocation(
-        e->core, lines, [this, e, lines](Cycle) {
+        e->core, lines,
+        [this, e, lines](Cycle) {
             for (LineAddr line : lines) {
                 agb_->bufferLine(e->handle, line, e->words.at(line),
                                  [this, e, line](Cycle t) {
@@ -280,7 +311,8 @@ BspEngine::persistViaAgb(const EpochPtr &e, Cycle now)
                     epochLineDone(e, t);
                 });
             }
-        });
+        },
+        e->uid);
 }
 
 void
@@ -298,6 +330,15 @@ BspEngine::markPersisted(const EpochPtr &e)
     e->persisted = true;
     TSOPER_TRACE(Bsp, eq_.now(), "core " << e->core << " epoch#"
                  << e->uid << " persisted");
+    trace::span(trace::Event::EpochPersisted, e->core, e->openedAt,
+                eq_.now(), e->uid, e->order.size());
+    // In AGB mode the buffer emits the group-durable record at the
+    // committed-prefix instant; emitting here too would double-count.
+    // An epoch that persisted nothing has no recovery-visible durable
+    // point, so it gets no record either.
+    if (mode_ != Mode::BspSlcAgb && !e->snapshotted.empty())
+        trace::instant(trace::Event::GroupDurable, e->core, eq_.now(),
+                       e->uid, e->order.size());
     auto &q = epochs_[static_cast<unsigned>(e->core)];
     while (!q.empty() && q.front()->persisted) {
         q.pop_front();

@@ -83,6 +83,7 @@ class BspEngine : public PersistEngine
         std::unordered_set<LineAddr> snapshotted;
         std::unordered_map<LineAddr, Cycle> flushAt; ///< L1->LLC time.
         unsigned storeCount = 0;
+        Cycle openedAt = 0; ///< First store's cycle (trace spans).
         bool closed = false;
         bool persisted = false;
         bool persistIssued = false; ///< NVM/AGB phase started.
@@ -126,6 +127,10 @@ class BspEngine : public PersistEngine
 
     std::vector<std::deque<EpochPtr>> epochs_; ///< Per core, oldest first.
     std::vector<std::unordered_map<LineAddr, EpochPtr>> latest_;
+    /** Persist-before deps inherited from an epoch that closed with
+     *  nothing to persist: an empty epoch has no durable point of its
+     *  own, so its obligations transfer to the core's next epoch. */
+    std::vector<std::vector<EpochPtr>> carriedDeps_;
     /** Completion of the last issued NVM persist per line (chains
      *  same-address persists; realizes LLC exclusion). */
     std::unordered_map<LineAddr, Cycle> lineNvmReady_;

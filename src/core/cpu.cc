@@ -72,7 +72,7 @@ Cpu::Cpu(CoreId id, const SystemConfig &cfg, EventQueue &eq,
          CoherenceProtocol &proto, PersistEngine &engine,
          SyncCoordinator &sync, StoreLog *log, StatsRegistry &stats)
     : id_(id), cfg_(cfg), eq_(eq), proto_(proto), engine_(engine),
-      sync_(sync), log_(log), sb_(cfg.storeBufferEntries),
+      sync_(sync), log_(log), sb_(cfg.storeBufferEntries, id),
       loads_(stats.counter("cpu.loads")),
       stores_(stats.counter("cpu.stores")),
       computeCycles_(stats.counter("cpu.compute_cycles")),
@@ -193,7 +193,7 @@ Cpu::execStore(const TraceOp &op)
     const StoreId sid = newStoreId();
     if (log_)
         log_->storeIssued(id_, sid);
-    sb_.push(op.addr, sid);
+    sb_.push(op.addr, sid, eq_.now());
     tryDrainSb();
     advance(1);
 }
@@ -364,7 +364,7 @@ Cpu::tryDrainSb()
     sbDraining_ = true;
     proto_.store(id_, head.addr, head.store, [this](Cycle at) {
         eq_.schedule(std::max(at, eq_.now()), [this] {
-            sb_.pop();
+            sb_.pop(eq_.now());
             sbDraining_ = false;
             drainProgress();
             tryDrainSb();

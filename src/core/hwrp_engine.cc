@@ -4,15 +4,25 @@
 
 #include "sim/debug.hh"
 #include "sim/log.hh"
+#include "sim/trace.hh"
 
 namespace tsoper
 {
+
+namespace
+{
+/** Local-id bit distinguishing spontaneous (eviction) persists from SFR
+ *  batch tags in trace::groupTag space. */
+constexpr std::uint64_t spontBit = 1ull << 40;
+} // namespace
 
 HwRpEngine::HwRpEngine(const SystemConfig &cfg, EventQueue &eq,
                        SlcProtocol &slc, Nvm &nvm, StatsRegistry &stats)
     : cfg_(cfg), eq_(eq), slc_(slc), nvm_(nvm),
       sfrDirty_(cfg.numCores), sfrStoreCount_(cfg.numCores, 0),
       batchDoneAt_(cfg.numCores, 0),
+      batchSeq_(cfg.numCores, 1), spontSeq_(cfg.numCores, 0),
+      lastBatchTag_(cfg.numCores, 0), batchAudit_(cfg.numCores),
       wpqPortBusy_(cfg.nvmRanks, 0), wpqCompletions_(cfg.nvmRanks),
       outstanding_(cfg.numCores, 0), syncWaiters_(cfg.numCores),
       persistWb_(stats.counter("traffic.persist_wb")),
@@ -48,7 +58,8 @@ HwRpEngine::onDirtyExpose(CoreId owner, LineAddr line, CoreId requester,
 
 Cycle
 HwRpEngine::persistLine(CoreId core, LineAddr line, const LineWords &words,
-                        Cycle earliest)
+                        Cycle earliest, std::uint64_t auditTag,
+                        bool batched)
 {
     const unsigned r = nvm_.rankOf(line);
     Cycle entry = std::max(earliest, wpqPortBusy_[r]);
@@ -62,10 +73,24 @@ HwRpEngine::persistLine(CoreId core, LineAddr line, const LineWords &words,
     const auto c = static_cast<unsigned>(core);
     ++outstanding_[c];
     ++outstandingTotal_;
+    if (trace::on(trace::Category::Persist)) {
+        trace::instant(trace::Event::PersistIssue, core, eq_.now(), line,
+                       auditTag);
+        if (batched) {
+            BatchAudit &ba = batchAudit_[c][auditTag];
+            ++ba.pending;
+            ++ba.lines;
+            ba.maxEntry = std::max(ba.maxEntry, entry);
+        }
+    }
     // Durable at WPQ entry: record the contents for the crash overlay.
-    eq_.schedule(entry, [this, line, words] {
+    eq_.schedule(entry, [this, core, line, words, auditTag, batched] {
         wpqContents_[line] = words;
         ++wpqPendingCount_[line];
+        trace::instant(trace::Event::PersistCommit, core, eq_.now(),
+                       line, auditTag);
+        if (batched)
+            onBatchEntry(core, auditTag);
     });
     const Cycle completion =
         nvm_.write(line, words, entry,
@@ -88,8 +113,13 @@ HwRpEngine::onDirtyEvict(CoreId owner, LineAddr line, ExposeReason why,
     // persist queue (the node is still alive during this hook).  It
     // belongs to the current SFR, so it orders behind previous batches.
     spontaneous_.inc();
+    // Spontaneous persists carry no cross-SFR ordering promise, so they
+    // audit as unordered singleton groups, not batch members.
+    const auto c = static_cast<unsigned>(owner);
     persistLine(owner, line, slc_.nodeWords(owner, line),
-                std::max(now, batchDoneAt_[static_cast<unsigned>(owner)]));
+                std::max(now, batchDoneAt_[c]),
+                trace::groupTag(owner, spontBit | ++spontSeq_[c]),
+                false);
 }
 
 void
@@ -102,19 +132,31 @@ void
 HwRpEngine::onSyncEvent(CoreId core, Cycle now, SyncEvent event,
                         unsigned id)
 {
-    (void)now;
     const auto c = static_cast<unsigned>(core);
+    // Adopting a sync clock creates a cross-core persist-before edge
+    // from the batch behind the clock to this core's open batch.
+    const auto adoptEdge = [&](std::uint64_t fromTag) {
+        if (fromTag != 0)
+            trace::instant(trace::Event::PbEdge, core, now, fromTag,
+                           trace::groupTag(core, batchSeq_[c]));
+    };
     switch (event) {
       case SyncEvent::LockAcquire:
+        adoptEdge(lockClockTag_[id]);
         batchDoneAt_[c] = std::max(batchDoneAt_[c], lockClock_[id]);
         break;
       case SyncEvent::LockRelease:
+        if (batchDoneAt_[c] > lockClock_[id])
+            lockClockTag_[id] = lastBatchTag_[c];
         lockClock_[id] = std::max(lockClock_[id], batchDoneAt_[c]);
         break;
       case SyncEvent::BarrierArrive:
+        if (batchDoneAt_[c] > barrierClock_[id])
+            barrierClockTag_[id] = lastBatchTag_[c];
         barrierClock_[id] = std::max(barrierClock_[id], batchDoneAt_[c]);
         break;
       case SyncEvent::BarrierResume:
+        adoptEdge(barrierClockTag_[id]);
         batchDoneAt_[c] = std::max(batchDoneAt_[c], barrierClock_[id]);
         break;
     }
@@ -140,15 +182,57 @@ HwRpEngine::flushSfr(CoreId core, Cycle now)
     TSOPER_TRACE(HwRp, now, "core " << core << " SFR flush ("
                  << lines.size() << " lines), batch starts at "
                  << start);
+    const std::uint64_t tag = trace::groupTag(core, batchSeq_[c]);
     Cycle done = start;
+    unsigned persisted = 0;
     for (LineAddr line : lines) {
         if (!slc_.hasNode(core, line) || !slc_.nodeDirty(core, line))
             continue; // Superseded or already spontaneously persisted.
-        const Cycle entry =
-            persistLine(core, line, slc_.nodeWords(core, line), start);
+        const Cycle entry = persistLine(
+            core, line, slc_.nodeWords(core, line), start, tag, true);
         done = std::max(done, entry);
+        ++persisted;
     }
     batchDoneAt_[c] = done;
+    trace::instant(trace::Event::SfrFlushed, core, now, tag, persisted);
+    if (trace::on(trace::Category::Persist) && persisted > 0) {
+        auto it = batchAudit_[c].find(tag);
+        tsoper_assert(it != batchAudit_[c].end());
+        it->second.closed = true;
+        if (it->second.pending == 0)
+            finishBatch(core, tag);
+        // The next batch's WPQ entries start after this batch's.
+        trace::instant(trace::Event::PbEdge, core, now, tag,
+                       trace::groupTag(core, batchSeq_[c] + 1));
+        lastBatchTag_[c] = tag;
+    }
+    ++batchSeq_[c];
+}
+
+void
+HwRpEngine::onBatchEntry(CoreId core, std::uint64_t tag)
+{
+    auto &audits = batchAudit_[static_cast<unsigned>(core)];
+    auto it = audits.find(tag);
+    if (it == audits.end())
+        return;
+    tsoper_assert(it->second.pending > 0);
+    if (--it->second.pending == 0 && it->second.closed)
+        finishBatch(core, tag);
+}
+
+void
+HwRpEngine::finishBatch(CoreId core, std::uint64_t tag)
+{
+    auto &audits = batchAudit_[static_cast<unsigned>(core)];
+    auto it = audits.find(tag);
+    tsoper_assert(it != audits.end());
+    // All lines are in power-backed WPQ slots: the batch is durable as
+    // of its last entry cycle.
+    trace::instant(trace::Event::GroupDurable, core,
+                   std::max(it->second.maxEntry, eq_.now()), tag,
+                   it->second.lines);
+    audits.erase(it);
 }
 
 void

@@ -80,9 +80,18 @@ class HwRpEngine : public PersistEngine
      * Enqueue one line into its rank's WPQ, no earlier than
      * @p earliest.  @return the WPQ-entry cycle (= durability point);
      * the NVM write is issued behind it.
+     *
+     * @p auditTag names the line's persist group in the structured
+     * trace; @p batched marks lines of an SFR flush batch (spontaneous
+     * eviction persists are unordered singletons).
      */
     Cycle persistLine(CoreId core, LineAddr line, const LineWords &words,
-                      Cycle earliest);
+                      Cycle earliest, std::uint64_t auditTag,
+                      bool batched);
+
+    /** A batched line entered the WPQ: advance the batch audit. */
+    void onBatchEntry(CoreId core, std::uint64_t tag);
+    void finishBatch(CoreId core, std::uint64_t tag);
 
     const SystemConfig &cfg_;
     EventQueue &eq_;
@@ -97,6 +106,23 @@ class HwRpEngine : public PersistEngine
      *  barrier resume adopts it. */
     std::unordered_map<unsigned, Cycle> lockClock_;
     std::unordered_map<unsigned, Cycle> barrierClock_;
+    /** Trace-audit shadow state: SFR batch numbering, the batch behind
+     *  each sync clock, and per-batch WPQ-entry accounting (populated
+     *  only while the persist trace category is enabled). */
+    std::vector<std::uint64_t> batchSeq_;
+    std::vector<std::uint64_t> spontSeq_;
+    std::vector<std::uint64_t> lastBatchTag_;
+    std::unordered_map<unsigned, std::uint64_t> lockClockTag_;
+    std::unordered_map<unsigned, std::uint64_t> barrierClockTag_;
+    struct BatchAudit
+    {
+        unsigned pending = 0; ///< Lines not yet in the WPQ.
+        unsigned lines = 0;
+        Cycle maxEntry = 0;
+        bool closed = false;
+    };
+    std::vector<std::unordered_map<std::uint64_t, BatchAudit>>
+        batchAudit_;
     /** Per-rank WPQ modelling: entry port occupancy and the completion
      *  history used to bound in-flight entries to the queue depth. */
     std::vector<Cycle> wpqPortBusy_;

@@ -1,5 +1,7 @@
 #include "core/stw_engine.hh"
 
+#include "sim/trace.hh"
+
 namespace tsoper
 {
 
@@ -59,6 +61,8 @@ StwEngine::maybeResume()
     }
     stalled_ = false;
     stallCycles_.inc(eq_.now() - stallStart_);
+    trace::span(trace::Event::StwStall, invalidCore, stallStart_,
+                eq_.now(), 0);
     auto waiters = std::move(stallWaiters_);
     stallWaiters_.clear();
     for (auto &w : waiters)

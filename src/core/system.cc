@@ -8,16 +8,27 @@
 #include "core/stw_engine.hh"
 #include "core/tsoper_engine.hh"
 #include "sim/log.hh"
+#include "sim/trace.hh"
 #include "sim/watchdog.hh"
 
 namespace tsoper
 {
 
 System::System(const SystemConfig &cfg, const Workload &workload)
-    : cfg_(cfg), mesh_(cfg_, stats_), nvm_(cfg_, eq_, stats_),
+    : cfg_(cfg),
+      logCycle_(
+          [](const void *eq) {
+              return static_cast<const EventQueue *>(eq)->now();
+          },
+          &eq_),
+      mesh_(cfg_, stats_), nvm_(cfg_, eq_, stats_),
       llc_(cfg_, nvm_, stats_), sync_(cfg_.numCores, eq_)
 {
     cfg_.validate();
+    if (!cfg_.traceCategories.empty())
+        trace::setCategories(cfg_.traceCategories);
+    if (cfg_.flightRecorderDepth > 0)
+        trace::enableFlightRecorder(cfg_.flightRecorderDepth);
     tsoper_assert(workload.perCore.size() == cfg_.numCores,
                   "workload core count (", workload.perCore.size(),
                   ") != configured cores (", cfg_.numCores, ")");
@@ -210,6 +221,9 @@ System::dumpState() const
     os << "  nvm: " << stats_.get("nvm.writes_issued") << " issued, "
        << stats_.get("nvm.writes_done") << " done, "
        << stats_.get("nvm.reads") << " reads";
+    if (const std::string tail = trace::flightRecorderDump();
+        !tail.empty())
+        os << "\n" << tail;
     return os.str();
 }
 

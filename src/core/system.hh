@@ -34,6 +34,7 @@
 #include "noc/mesh.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/log.hh"
 #include "sim/stats.hh"
 #include "sim/store_log.hh"
 #include "workload/trace.hh"
@@ -108,6 +109,8 @@ class System
     SystemConfig cfg_;
     StatsRegistry stats_;
     EventQueue eq_;
+    /** Timestamps warn/panic lines with eq_'s cycle while we're live. */
+    ScopedLogCycleSource logCycle_;
     Mesh mesh_;
     Nvm nvm_;
     Llc llc_;

@@ -4,6 +4,7 @@
 
 #include "sim/debug.hh"
 #include "sim/log.hh"
+#include "sim/trace.hh"
 
 namespace tsoper
 {
@@ -39,11 +40,14 @@ TsoperEngine::onStoreCommitted(CoreId core, LineAddr line, Cycle now)
     auto &mgr = *mgrs_[static_cast<unsigned>(core)];
     const bool capFroze =
         mgr.addDirty(line, slc_.nodeIsPersistTail(core, line));
+    if (AtomicGroup *g = mgr.groupOf(line); g && g->openedAt == 0)
+        g->openedAt = now;
     if (capFroze) {
         freezeCap_.inc();
         const AtomicGroup &frozen = *mgr.groupOf(line);
         agStores_.add(frozen.storeCount);
         agStoresT_.sample(now, static_cast<double>(frozen.storeCount));
+        noteFrozen(core, frozen, FreezeReason::SizeCap, now);
         onFroze(core, frozen, FreezeReason::SizeCap, now);
         advance(core);
     }
@@ -52,17 +56,31 @@ TsoperEngine::onStoreCommitted(CoreId core, LineAddr line, Cycle now)
 void
 TsoperEngine::onReadDependence(CoreId reader, LineAddr line, Cycle now)
 {
-    (void)now;
     auto &mgr = *mgrs_[static_cast<unsigned>(reader)];
     mgr.addClean(line, slc_.nodeIsPersistTail(reader, line));
+    if (AtomicGroup *g = mgr.groupOf(line); g && g->openedAt == 0)
+        g->openedAt = now;
 }
 
 Cycle
 TsoperEngine::onDirtyExpose(CoreId owner, LineAddr line, CoreId requester,
                             bool forWrite, Cycle now)
 {
-    (void)requester;
     freezeRemote_.inc();
+    // The exposure creates a persist-before edge: the owner's AG (which
+    // holds the dirty version) must persist before the requester's AG
+    // that absorbs the dependence (§III-A).
+    if (trace::on(trace::Category::Persist) && requester != invalidCore &&
+        requester != owner) {
+        if (const AtomicGroup *ag =
+                mgrs_[static_cast<unsigned>(owner)]->groupOf(line)) {
+            const AgId toId =
+                mgrs_[static_cast<unsigned>(requester)]->openOrNextId();
+            trace::instant(trace::Event::PbEdge, owner, now,
+                           trace::groupTag(owner, ag->id),
+                           trace::groupTag(requester, toId));
+        }
+    }
     freezeGroupOf(owner, line,
                   forWrite ? FreezeReason::RemoteWrite
                            : FreezeReason::RemoteRead,
@@ -100,6 +118,7 @@ TsoperEngine::freezeGroupOf(CoreId core, LineAddr line, FreezeReason why,
                      << ")");
         agStores_.add(ag->storeCount);
         agStoresT_.sample(now, static_cast<double>(ag->storeCount));
+        noteFrozen(core, *ag, why, now);
         onFroze(core, *ag, why, now);
     }
     advance(core);
@@ -150,9 +169,19 @@ TsoperEngine::onMarker(CoreId core, Cycle now)
     if (AtomicGroup *ag = mgr.freezeOpen(FreezeReason::Marker)) {
         agStores_.add(ag->storeCount);
         agStoresT_.sample(now, static_cast<double>(ag->storeCount));
+        noteFrozen(core, *ag, FreezeReason::Marker, now);
         onFroze(core, *ag, FreezeReason::Marker, now);
         advance(core);
     }
+}
+
+void
+TsoperEngine::noteFrozen(CoreId core, const AtomicGroup &ag,
+                         FreezeReason why, Cycle now)
+{
+    trace::instant(trace::Event::AgFrozen, core, now,
+                   trace::groupTag(core, ag.id), ag.members.size(),
+                   static_cast<std::uint64_t>(why));
 }
 
 // ---------------------------------------------------------------------
@@ -236,7 +265,8 @@ TsoperEngine::advance(CoreId core)
         const AgId id = ag.id;
         ag.handle = agb_.requestAllocation(
             core, std::move(dirty),
-            [this, core, id](Cycle t) { onGranted(core, id, t); });
+            [this, core, id](Cycle t) { onGranted(core, id, t); },
+            trace::groupTag(core, id));
     }
 }
 
@@ -303,6 +333,9 @@ TsoperEngine::maybeRetire(CoreId core)
             break;
         TSOPER_TRACE(Ag, eq_.now(), "core " << core << " AG#"
                      << front->id << " fully persisted, retiring");
+        trace::span(trace::Event::AgRetired, core, front->openedAt,
+                    eq_.now(), trace::groupTag(core, front->id),
+                    front->dirtyCount(), front->storeCount);
         const std::vector<LineAddr> clean = mgr.retireOldest();
         for (LineAddr line : clean)
             slc_.releaseCleanMember(core, line, eq_.now());
@@ -329,6 +362,8 @@ TsoperEngine::drain(std::function<void()> done)
             agStores_.add(ag->storeCount);
             agStoresT_.sample(eq_.now(),
                               static_cast<double>(ag->storeCount));
+            noteFrozen(static_cast<CoreId>(c), *ag, FreezeReason::Drain,
+                       eq_.now());
         }
         advance(static_cast<CoreId>(c));
     }

@@ -81,6 +81,10 @@ class TsoperEngine : public PersistEngine
     void freezeGroupOf(CoreId core, LineAddr line, FreezeReason why,
                        Cycle now);
 
+    /** Publish the freeze to the structured trace bus. */
+    void noteFrozen(CoreId core, const AtomicGroup &ag, FreezeReason why,
+                    Cycle now);
+
     /** Subclass hook (STW stalls the world here). */
     virtual void
     onFroze(CoreId core, const AtomicGroup &ag, FreezeReason why,

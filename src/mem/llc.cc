@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/log.hh"
+#include "sim/trace.hh"
 
 namespace tsoper
 {
@@ -32,6 +33,8 @@ Llc::access(LineAddr line, Cycle when)
     Cycle &busy = bankBusyUntil_[bankOf(line)];
     const Cycle start = std::max(when, busy);
     busy = start + occupancy_;
+    trace::span(trace::Event::LlcAccess, invalidCore, when,
+                start + latency_, line, bankOf(line));
     return start + latency_;
 }
 

@@ -1,15 +1,17 @@
 #include "mem/store_buffer.hh"
 
 #include "sim/log.hh"
+#include "sim/trace.hh"
 
 namespace tsoper
 {
 
 void
-StoreBuffer::push(Addr addr, StoreId store)
+StoreBuffer::push(Addr addr, StoreId store, Cycle now)
 {
     tsoper_assert(!full(), "store buffer overflow");
     entries_.push_back(Entry{addr, store});
+    trace::counter(trace::Event::SbDepth, core_, now, entries_.size());
 }
 
 const StoreBuffer::Entry &
@@ -20,10 +22,11 @@ StoreBuffer::front() const
 }
 
 void
-StoreBuffer::pop()
+StoreBuffer::pop(Cycle now)
 {
     tsoper_assert(!entries_.empty(), "pop() on empty store buffer");
     entries_.pop_front();
+    trace::counter(trace::Event::SbDepth, core_, now, entries_.size());
 }
 
 std::optional<StoreId>

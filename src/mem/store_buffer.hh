@@ -28,7 +28,11 @@ class StoreBuffer
         StoreId store; ///< Unique id doubling as the stored value.
     };
 
-    explicit StoreBuffer(unsigned capacity) : capacity_(capacity) {}
+    /** @p core only labels the depth samples in the structured trace. */
+    explicit StoreBuffer(unsigned capacity, CoreId core = invalidCore)
+        : capacity_(capacity), core_(core)
+    {
+    }
 
     bool full() const { return entries_.size() >= capacity_; }
     bool empty() const { return entries_.empty(); }
@@ -36,13 +40,13 @@ class StoreBuffer
     unsigned capacity() const { return capacity_; }
 
     /** Append a store; the caller must have checked !full(). */
-    void push(Addr addr, StoreId store);
+    void push(Addr addr, StoreId store, Cycle now = 0);
 
     /** Oldest (next to drain) entry; buffer must be non-empty. */
     const Entry &front() const;
 
     /** Drain the oldest entry. */
-    void pop();
+    void pop(Cycle now = 0);
 
     /**
      * Youngest buffered store to the same word as @p addr, if any —
@@ -55,6 +59,7 @@ class StoreBuffer
 
   private:
     unsigned capacity_;
+    CoreId core_;
     std::deque<Entry> entries_;
 };
 

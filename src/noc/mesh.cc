@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "sim/log.hh"
+#include "sim/trace.hh"
 
 namespace tsoper
 {
@@ -99,6 +100,11 @@ Mesh::route(int src, int dst, unsigned bytes, Cycle depart)
         node = next;
     }
     // Account for the tail of the message (serialization) once.
+    trace::span(trace::Event::NocMsg, invalidCore, depart, at + ser,
+                (static_cast<std::uint64_t>(static_cast<unsigned>(src))
+                 << 32) |
+                    static_cast<unsigned>(dst),
+                bytes);
     return at + ser;
 }
 

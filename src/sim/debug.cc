@@ -1,10 +1,11 @@
 #include "sim/debug.hh"
 
 #include <array>
-#include <cstdio>
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
+
+#include "sim/log.hh"
 
 namespace tsoper::debug
 {
@@ -33,8 +34,9 @@ flagName(Flag flag)
 void
 setFlags(const std::string &csv)
 {
-    initialized_ = true;
-    flags_.fill(false);
+    // Parse into a scratch set first so a fatal unknown-flag error
+    // leaves the active flags untouched.
+    std::array<bool, numFlags> next{};
     std::size_t pos = 0;
     while (pos <= csv.size() && !csv.empty()) {
         const std::size_t comma = csv.find(',', pos);
@@ -42,24 +44,51 @@ setFlags(const std::string &csv)
             csv.substr(pos, comma == std::string::npos ? std::string::npos
                                                        : comma - pos);
         if (tok == "all") {
-            flags_.fill(true);
+            next.fill(true);
         } else if (!tok.empty()) {
             bool known = false;
             for (unsigned f = 0; f < numFlags; ++f) {
                 if (tok == names_[f]) {
-                    flags_[f] = true;
+                    next[f] = true;
                     known = true;
                 }
             }
-            if (!known)
-                std::fprintf(stderr,
-                             "warn: unknown TSOPER_DEBUG flag '%s'\n",
-                             tok.c_str());
+            if (!known) {
+                std::string valid = "all";
+                for (unsigned f = 0; f < numFlags; ++f)
+                    valid += std::string(",") + names_[f];
+                tsoper_fatal("unknown debug flag '", tok,
+                             "' (valid: ", valid, ")");
+            }
         }
         if (comma == std::string::npos)
             break;
         pos = comma + 1;
     }
+    initialized_ = true;
+    flags_ = next;
+}
+
+std::string
+flagsCsv()
+{
+    if (!initialized_)
+        initFromEnv();
+    std::string csv;
+    for (unsigned f = 0; f < numFlags; ++f) {
+        if (!flags_[f])
+            continue;
+        if (!csv.empty())
+            csv += ',';
+        csv += names_[f];
+    }
+    return csv;
+}
+
+std::vector<std::string>
+flagNames()
+{
+    return {names_, names_ + numFlags};
 }
 
 void

@@ -22,6 +22,7 @@
 #include <iosfwd>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "sim/types.hh"
 
@@ -44,8 +45,16 @@ enum class Flag : unsigned
 bool enabled(Flag flag);
 
 /** Enable exactly the comma-separated flags in @p csv ("slc,ag");
- *  "all" enables everything, "" disables everything. */
+ *  "all" enables everything, "" disables everything.  An unknown flag
+ *  name is fatal; the message lists the valid set. */
 void setFlags(const std::string &csv);
+
+/** Currently enabled flags as a canonical csv ("" when off) — used to
+ *  forward TSOPER_DEBUG into subprocess-isolated campaign cells. */
+std::string flagsCsv();
+
+/** All flag names, in enum order (CLI listings). */
+std::vector<std::string> flagNames();
 
 /** Initialize from the TSOPER_DEBUG environment variable (called once
  *  automatically before the first trace check). */

@@ -3,14 +3,51 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "sim/trace.hh"
+
 namespace tsoper
 {
+
+namespace
+{
+
+thread_local ScopedLogCycleSource::Fn cycleFn_ = nullptr;
+thread_local const void *cycleCtx_ = nullptr;
+
+/** "[     cycle] " when a System is live on this thread, else "". */
+std::string
+cyclePrefix()
+{
+    if (!cycleFn_)
+        return {};
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "[%10llu] ",
+                  static_cast<unsigned long long>(cycleFn_(cycleCtx_)));
+    return buf;
+}
+
+} // namespace
+
+ScopedLogCycleSource::ScopedLogCycleSource(Fn fn, const void *ctx)
+    : prevFn_(cycleFn_), prevCtx_(cycleCtx_)
+{
+    cycleFn_ = fn;
+    cycleCtx_ = ctx;
+}
+
+ScopedLogCycleSource::~ScopedLogCycleSource()
+{
+    cycleFn_ = prevFn_;
+    cycleCtx_ = prevCtx_;
+}
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::string full = std::string("panic: ") + msg + " (" + file + ":" +
-                       std::to_string(line) + ")";
+    std::string full = cyclePrefix() + "panic: " + msg + " (" + file +
+                       ":" + std::to_string(line) + ")";
+    if (trace::flightRecorderActive())
+        full += "\n" + trace::flightRecorderDump();
     std::fprintf(stderr, "%s\n", full.c_str());
     throw std::logic_error(full);
 }
@@ -27,7 +64,8 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fprintf(stderr, "%swarn: %s (%s:%d)\n", cyclePrefix().c_str(),
+                 msg.c_str(), file, line);
 }
 
 } // namespace tsoper

@@ -10,6 +10,7 @@
 #ifndef TSOPER_SIM_LOG_HH
 #define TSOPER_SIM_LOG_HH
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -21,6 +22,31 @@ namespace tsoper
 [[noreturn]] void fatalImpl(const char *file, int line,
                             const std::string &msg);
 void warnImpl(const char *file, int line, const std::string &msg);
+
+/**
+ * RAII: while alive, tsoper_warn / tsoper_panic lines carry the
+ * current simulated cycle in the same "[     cycle] " prefix the debug
+ * tracer uses.  System installs one over its event queue, so any
+ * warning or panic raised while a machine is live is timestamped.
+ *
+ * Nested scopes stack (the innermost wins); the source is thread-local
+ * so concurrent campaign workers don't read each other's clocks.
+ */
+class ScopedLogCycleSource
+{
+  public:
+    using Fn = std::uint64_t (*)(const void *ctx);
+
+    ScopedLogCycleSource(Fn fn, const void *ctx);
+    ~ScopedLogCycleSource();
+
+    ScopedLogCycleSource(const ScopedLogCycleSource &) = delete;
+    ScopedLogCycleSource &operator=(const ScopedLogCycleSource &) = delete;
+
+  private:
+    Fn prevFn_;
+    const void *prevCtx_;
+};
 
 /** Build a message from stream-insertable parts. */
 template <typename... Args>

@@ -1,0 +1,247 @@
+#include "sim/trace.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <mutex>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace tsoper::trace
+{
+
+namespace detail
+{
+bool mask_[static_cast<unsigned>(Category::NumCategories)] = {};
+} // namespace detail
+
+namespace
+{
+
+constexpr auto numCategories =
+    static_cast<unsigned>(Category::NumCategories);
+constexpr auto numEvents = static_cast<unsigned>(Event::NumEvents);
+
+constexpr const char *categoryNames_[numCategories] = {
+    "ag", "agb", "slc", "sb", "llc", "noc", "persist",
+};
+
+struct EventInfo
+{
+    Category cat;
+    const char *name;
+};
+
+constexpr EventInfo events_[numEvents] = {
+    {Category::Ag, "ag_frozen"},
+    {Category::Ag, "ag_retired"},
+    {Category::Ag, "epoch_closed"},
+    {Category::Ag, "epoch_persisted"},
+    {Category::Ag, "sfr_flushed"},
+    {Category::Ag, "stw_stall"},
+    {Category::Agb, "agb_grant"},
+    {Category::Agb, "agb_occupancy"},
+    {Category::Agb, "agb_drained"},
+    {Category::Slc, "slc_new_head"},
+    {Category::Slc, "slc_invalidate"},
+    {Category::Slc, "slc_dir_evict"},
+    {Category::Slc, "slc_persist"},
+    {Category::Sb, "sb_depth"},
+    {Category::Llc, "llc_access"},
+    {Category::Noc, "noc_msg"},
+    {Category::Persist, "persist_issue"},
+    {Category::Persist, "persist_commit"},
+    {Category::Persist, "group_durable"},
+    {Category::Persist, "pb_edge"},
+};
+
+/** Serializes sink dispatch and the flight ring.  The mask itself is
+ *  written only between runs (setCategories), never under the lock. */
+std::mutex mutex_;
+std::vector<Sink *> sinks_;
+
+std::vector<Record> flightRing_;
+std::size_t flightNext_ = 0;
+std::size_t flightCount_ = 0;
+bool flightOn_ = false;
+
+} // namespace
+
+Category
+categoryOf(Event e)
+{
+    return events_[static_cast<unsigned>(e)].cat;
+}
+
+const char *
+eventName(Event e)
+{
+    return events_[static_cast<unsigned>(e)].name;
+}
+
+const char *
+categoryName(Category c)
+{
+    return categoryNames_[static_cast<unsigned>(c)];
+}
+
+const std::vector<std::string> &
+categoryNames()
+{
+    static const std::vector<std::string> all = [] {
+        std::vector<std::string> v;
+        for (unsigned c = 0; c < numCategories; ++c)
+            v.push_back(categoryNames_[c]);
+        return v;
+    }();
+    return all;
+}
+
+void
+setCategories(const std::string &csv)
+{
+    bool next[numCategories] = {};
+    std::size_t pos = 0;
+    while (pos <= csv.size() && !csv.empty()) {
+        const std::size_t comma = csv.find(',', pos);
+        const std::string tok =
+            csv.substr(pos, comma == std::string::npos ? std::string::npos
+                                                       : comma - pos);
+        if (tok == "all") {
+            std::fill(next, next + numCategories, true);
+        } else if (!tok.empty()) {
+            bool known = false;
+            for (unsigned c = 0; c < numCategories; ++c) {
+                if (tok == categoryNames_[c]) {
+                    next[c] = true;
+                    known = true;
+                }
+            }
+            if (!known) {
+                std::string valid = "all";
+                for (unsigned c = 0; c < numCategories; ++c)
+                    valid += std::string(",") + categoryNames_[c];
+                tsoper_fatal("unknown trace category '", tok,
+                             "' (valid: ", valid, ")");
+            }
+        }
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    std::copy(next, next + numCategories, detail::mask_);
+}
+
+std::string
+categoriesCsv()
+{
+    std::string csv;
+    for (unsigned c = 0; c < numCategories; ++c) {
+        if (!detail::mask_[c])
+            continue;
+        if (!csv.empty())
+            csv += ',';
+        csv += categoryNames_[c];
+    }
+    return csv;
+}
+
+void
+addSink(Sink *sink)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sinks_.push_back(sink);
+}
+
+void
+removeSink(Sink *sink)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink),
+                 sinks_.end());
+}
+
+bool
+anySink()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return !sinks_.empty() || flightOn_;
+}
+
+void
+enableFlightRecorder(unsigned depth)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    flightRing_.assign(depth ? depth : 1, Record{});
+    flightNext_ = 0;
+    flightCount_ = 0;
+    flightOn_ = depth > 0;
+}
+
+void
+disableFlightRecorder()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    flightOn_ = false;
+    flightRing_.clear();
+    flightNext_ = 0;
+    flightCount_ = 0;
+}
+
+bool
+flightRecorderActive()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return flightOn_;
+}
+
+std::string
+formatRecord(const Record &r)
+{
+    std::ostringstream os;
+    os << "[" << std::setw(10) << r.end << "] "
+       << categoryName(categoryOf(r.event)) << "." << eventName(r.event);
+    if (r.core != invalidCore)
+        os << " core=" << r.core;
+    if (r.begin != r.end)
+        os << " span=" << r.begin << ".." << r.end;
+    os << " id=0x" << std::hex << r.id << std::dec << " a=" << r.a
+       << " b=" << r.b;
+    return os.str();
+}
+
+std::string
+flightRecorderDump()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!flightOn_ || flightCount_ == 0)
+        return {};
+    std::ostringstream os;
+    os << "flight recorder (last " << flightCount_ << " trace records):";
+    const std::size_t depth = flightRing_.size();
+    const std::size_t first =
+        flightCount_ < depth ? 0 : flightNext_ % depth;
+    for (std::size_t i = 0; i < flightCount_; ++i)
+        os << "\n  " << formatRecord(flightRing_[(first + i) % depth]);
+    return os.str();
+}
+
+namespace detail
+{
+
+void
+emitRecord(const Record &r)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (flightOn_) {
+        flightRing_[flightNext_] = r;
+        flightNext_ = (flightNext_ + 1) % flightRing_.size();
+        flightCount_ = std::min(flightCount_ + 1, flightRing_.size());
+    }
+    for (Sink *s : sinks_)
+        s->record(r);
+}
+
+} // namespace detail
+
+} // namespace tsoper::trace

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Structured trace bus: typed, low-overhead event records published by
+ * the simulator's components and fanned out to registered sinks
+ * (sim/trace_sink.hh — Perfetto export, persist-order audit, flight
+ * recorder).
+ *
+ * Unlike sim/debug.hh (free-form text for humans), trace records are
+ * machine-consumable: every record carries its event kind, category,
+ * core, one or two cycles (instant or span), and up to three integer
+ * arguments whose meaning is fixed per event kind.
+ *
+ * Cost model: each emit site is a single branch on the category mask
+ * when tracing is off — no record is built, no virtual call is made.
+ * Enable categories with setCategories("ag,agb,slc") or "all"; unknown
+ * names are fatal (same contract as debug::setFlags).
+ *
+ * Concurrency: the mask is process-global and sinks are shared, so at
+ * most one traced System should run per process at a time — the
+ * campaign runner's subprocess isolation gives every traced cell its
+ * own process.  Sink dispatch itself is serialized by an internal
+ * mutex, so a stray concurrent emitter corrupts nothing.
+ */
+
+#ifndef TSOPER_SIM_TRACE_HH
+#define TSOPER_SIM_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tsoper::trace
+{
+
+enum class Category : unsigned
+{
+    Ag,      ///< Group lifecycle: AG / BSP epoch / SFR batch spans.
+    Agb,     ///< AGB allocation, grants, occupancy.
+    Slc,     ///< Sharing-list surgery (link, invalidate, token pass).
+    Sb,      ///< Store-buffer depth.
+    Llc,     ///< LLC bank transactions.
+    Noc,     ///< Mesh messages.
+    Persist, ///< Persist-order audit stream (issues, commits, edges).
+    NumCategories,
+};
+
+enum class Event : unsigned
+{
+    // Category::Ag — group lifecycle.
+    AgFrozen,     ///< instant; id=group tag, a=members, b=FreezeReason.
+    AgRetired,    ///< span open..retire; id=group tag, a=dirty, b=stores.
+    EpochClosed,  ///< instant; id=epoch tag, a=lines, b=stores.
+    EpochPersisted, ///< span open..persisted; id=epoch tag, a=lines.
+    SfrFlushed,   ///< instant; id=batch tag, a=lines.
+    StwStall,     ///< span stall..resume; id=0.
+
+    // Category::Agb.
+    AgbGrant,     ///< instant; id=audit tag, a=lines, b=occupancy.
+    AgbOccupancy, ///< counter; a=total reserved lines.
+    AgbDrained,   ///< instant; id=audit tag (fully durable in NVM).
+
+    // Category::Slc.
+    SlcNewHead,   ///< instant; id=line.
+    SlcInvalidate,///< instant; id=line, a=dirty.
+    SlcDirEvict,  ///< instant; id=line (directory eviction teardown).
+    SlcPersist,   ///< instant; id=line (token passes headwards).
+
+    // Category::Sb.
+    SbDepth,      ///< counter per core; a=entries.
+
+    // Category::Llc.
+    LlcAccess,    ///< span request..done; id=line, a=bank.
+
+    // Category::Noc.
+    NocMsg,       ///< span depart..arrive; id=(src<<32|dst), a=bytes.
+
+    // Category::Persist — the audit stream (trace_sink.hh).
+    PersistIssue, ///< instant; id=line, a=group tag.
+    PersistCommit,///< instant; id=line, a=group tag (durable point).
+    GroupDurable, ///< instant; id=group tag, a=line count.
+    PbEdge,       ///< instant; id=from tag, a=to tag (from persists first).
+
+    NumEvents,
+};
+
+/** One trace record.  For instants begin == end. */
+struct Record
+{
+    Event event = Event::NumEvents;
+    CoreId core = invalidCore;
+    Cycle begin = 0;
+    Cycle end = 0;
+    std::uint64_t id = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+};
+
+/** Consumer interface; see sim/trace_sink.hh for the stock sinks. */
+class Sink
+{
+  public:
+    virtual ~Sink() = default;
+    virtual void record(const Record &r) = 0;
+};
+
+/** Category of @p e (fixed mapping). */
+Category categoryOf(Event e);
+
+/** Short names ("ag_frozen", "persist_commit", ...). */
+const char *eventName(Event e);
+
+/** Short category names ("ag", "agb", "slc", "sb", "llc", "noc",
+ *  "persist"). */
+const char *categoryName(Category c);
+
+/** All category names, in enum order (CLI listings). */
+const std::vector<std::string> &categoryNames();
+
+namespace detail
+{
+extern bool mask_[static_cast<unsigned>(Category::NumCategories)];
+void emitRecord(const Record &r);
+} // namespace detail
+
+/** Is @p c enabled?  This is the one branch a disabled emit site pays. */
+inline bool
+on(Category c)
+{
+    return detail::mask_[static_cast<unsigned>(c)];
+}
+
+/**
+ * Enable exactly the comma-separated categories in @p csv ("ag,slc");
+ * "all" enables everything, "" disables everything.  Unknown names are
+ * fatal and the message lists the valid set.
+ */
+void setCategories(const std::string &csv);
+
+/** Currently enabled categories as a canonical csv ("" when off). */
+std::string categoriesCsv();
+
+/** Register / unregister a sink (not owned).  A sink sees every record
+ *  of every enabled category. */
+void addSink(Sink *sink);
+void removeSink(Sink *sink);
+
+/** Any sink registered?  (Flight recording counts.) */
+bool anySink();
+
+/**
+ * Flight recorder: a fixed ring of the last @p depth records of the
+ * enabled categories, kept inside the bus so panic paths can reach it
+ * without owning a sink.  Dumped by tsoper_panic and System::dumpState.
+ */
+void enableFlightRecorder(unsigned depth);
+void disableFlightRecorder();
+bool flightRecorderActive();
+
+/** Human-readable tail of the flight ring, oldest first; "" when the
+ *  recorder is off or empty. */
+std::string flightRecorderDump();
+
+/** Format one record as a debug.hh-style text line (flight dumps,
+ *  tests). */
+std::string formatRecord(const Record &r);
+
+/** Emit a duration span (begin..end). */
+inline void
+span(Event e, CoreId core, Cycle begin, Cycle end, std::uint64_t id,
+     std::uint64_t a = 0, std::uint64_t b = 0)
+{
+    if (!on(categoryOf(e)))
+        return;
+    detail::emitRecord(Record{e, core, begin, end, id, a, b});
+}
+
+/** Emit an instantaneous event. */
+inline void
+instant(Event e, CoreId core, Cycle when, std::uint64_t id,
+        std::uint64_t a = 0, std::uint64_t b = 0)
+{
+    if (!on(categoryOf(e)))
+        return;
+    detail::emitRecord(Record{e, core, when, when, id, a, b});
+}
+
+/** Emit a counter sample (occupancy, depth). */
+inline void
+counter(Event e, CoreId core, Cycle when, std::uint64_t value)
+{
+    if (!on(categoryOf(e)))
+        return;
+    detail::emitRecord(Record{e, core, when, when, 0, value, 0});
+}
+
+/**
+ * Audit group tag: globally unique name for a persist group (atomic
+ * group, BSP epoch, HW-RP SFR batch).  Engines with per-core local ids
+ * compose (core, id); engines with global uids may use them raw.
+ */
+constexpr std::uint64_t
+groupTag(CoreId core, std::uint64_t localId)
+{
+    return (static_cast<std::uint64_t>(core + 1) << 48) |
+           (localId & 0xffffffffffffull);
+}
+
+} // namespace tsoper::trace
+
+#endif // TSOPER_SIM_TRACE_HH

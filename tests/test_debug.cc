@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 
 #include "sim/debug.hh"
 
@@ -76,14 +77,39 @@ TEST_F(DebugFixture, LazyMessageEvaluation)
     EXPECT_EQ(evaluations, 1);
 }
 
-TEST_F(DebugFixture, UnknownFlagIsIgnored)
+TEST_F(DebugFixture, UnknownFlagIsFatal)
 {
-    debug::setFlags("slc,bogus");
-    EXPECT_TRUE(debug::enabled(debug::Flag::Slc));
+    debug::setFlags("mesi");
+    try {
+        debug::setFlags("slc,bogus");
+        FAIL() << "unknown flag must be fatal";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("bogus"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("valid:"),
+                  std::string::npos);
+    }
+    // The failed call must not have disturbed the active set.
+    EXPECT_TRUE(debug::enabled(debug::Flag::Mesi));
+    EXPECT_FALSE(debug::enabled(debug::Flag::Slc));
 }
 
 TEST_F(DebugFixture, FlagNamesRoundTrip)
 {
     EXPECT_STREQ(debug::flagName(debug::Flag::Slc), "slc");
     EXPECT_STREQ(debug::flagName(debug::Flag::HwRp), "hwrp");
+}
+
+TEST_F(DebugFixture, FlagsCsvRoundTrip)
+{
+    debug::setFlags("agb,slc");
+    EXPECT_EQ(debug::flagsCsv(), "slc,agb"); // canonical enum order
+    debug::setFlags("");
+    EXPECT_EQ(debug::flagsCsv(), "");
+    const std::vector<std::string> names = debug::flagNames();
+    ASSERT_EQ(names.size(),
+              static_cast<std::size_t>(debug::Flag::NumFlags));
+    for (unsigned f = 0; f < names.size(); ++f)
+        EXPECT_EQ(names[f],
+                  debug::flagName(static_cast<debug::Flag>(f)));
 }

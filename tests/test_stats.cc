@@ -207,3 +207,59 @@ TEST(Histogram, ResetClearsBothTiers)
     h.add(5);
     EXPECT_EQ(h.buckets().size(), 1u);
 }
+
+TEST(Histogram, ExactBoundaryValueSpillsOnce)
+{
+    // flatSize-1 is the last flat slot; flatSize itself must land in
+    // the spill map, and repeated adds must merge into one bucket
+    // rather than duplicating it on the flat/map seam.
+    Histogram h;
+    h.add(Histogram::flatSize - 1, 2);
+    h.add(Histogram::flatSize, 3);
+    h.add(Histogram::flatSize, 1);
+    const auto buckets = h.buckets();
+    ASSERT_EQ(buckets.size(), 2u);
+    EXPECT_EQ(buckets[0],
+              (std::pair<std::uint64_t, std::uint64_t>{
+                  Histogram::flatSize - 1, 2}));
+    EXPECT_EQ(buckets[1],
+              (std::pair<std::uint64_t, std::uint64_t>{
+                  Histogram::flatSize, 4}));
+    EXPECT_EQ(h.percentile(1.0), Histogram::flatSize);
+}
+
+// --------------------------------------------------------------------
+// TimeSeries under event-driven sampling: completion callbacks can
+// fire with non-monotonic cycles.
+// --------------------------------------------------------------------
+
+TEST(TimeSeries, PreservesOutOfOrderArrival)
+{
+    // The series records arrival order verbatim — it neither sorts nor
+    // drops samples whose cycle runs backwards (consumers that need
+    // cycle order sort on use, e.g. the Perfetto exporter's viewer).
+    TimeSeries ts;
+    ts.sample(100, 1.0);
+    ts.sample(40, 2.0);
+    ts.sample(100, 3.0); // duplicate cycle is legal
+    ts.sample(7, 4.0);
+    ASSERT_EQ(ts.points().size(), 4u);
+    EXPECT_EQ(ts.points()[0].first, 100u);
+    EXPECT_EQ(ts.points()[1].first, 40u);
+    EXPECT_EQ(ts.points()[2].first, 100u);
+    EXPECT_DOUBLE_EQ(ts.points()[2].second, 3.0);
+    EXPECT_EQ(ts.points()[3].first, 7u);
+}
+
+TEST(TimeSeries, ResetDropsOutOfOrderHistory)
+{
+    TimeSeries ts;
+    ts.sample(50, 1.0);
+    ts.sample(10, 2.0);
+    ts.reset();
+    EXPECT_TRUE(ts.points().empty());
+    ts.sample(3, 9.0);
+    ASSERT_EQ(ts.points().size(), 1u);
+    EXPECT_EQ(ts.points()[0].first, 3u);
+    EXPECT_DOUBLE_EQ(ts.points()[0].second, 9.0);
+}

@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Tests for the structured trace bus (sim/trace.hh), its stock sinks
+ * (sim/trace_sink.hh), and the end-to-end --trace-out/--audit-persists
+ * plumbing through campaign::runOne.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "campaign/run_request.hh"
+#include "sim/json.hh"
+#include "sim/log.hh"
+#include "sim/trace.hh"
+#include "sim/trace_sink.hh"
+
+using namespace tsoper;
+
+namespace
+{
+
+/** Every test leaves the process-global bus exactly as it found it. */
+struct TraceFixture : public ::testing::Test
+{
+    ~TraceFixture() override
+    {
+        trace::disableFlightRecorder();
+        trace::setCategories("");
+    }
+};
+
+std::string
+tmpPath(const char *stem)
+{
+    return testing::TempDir() + stem;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+trace::Record
+persistRec(trace::Event e, CoreId core, Cycle cycle, std::uint64_t id,
+           std::uint64_t a = 0)
+{
+    return trace::Record{e, core, cycle, cycle, id, a, 0};
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// Bus basics: category mask, csv round-trip, flight ring.
+// --------------------------------------------------------------------
+
+TEST_F(TraceFixture, CategoriesCsvRoundTrip)
+{
+    trace::setCategories("slc,ag");
+    EXPECT_TRUE(trace::on(trace::Category::Ag));
+    EXPECT_TRUE(trace::on(trace::Category::Slc));
+    EXPECT_FALSE(trace::on(trace::Category::Persist));
+    EXPECT_EQ(trace::categoriesCsv(), "ag,slc"); // canonical enum order
+    trace::setCategories("");
+    EXPECT_EQ(trace::categoriesCsv(), "");
+}
+
+TEST_F(TraceFixture, UnknownCategoryIsFatal)
+{
+    try {
+        trace::setCategories("ag,bogus");
+        FAIL() << "unknown category must be fatal";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("bogus"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("valid:"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(TraceFixture, FlightRecorderKeepsLastN)
+{
+    trace::setCategories("persist");
+    trace::enableFlightRecorder(4);
+    for (Cycle c = 1; c <= 6; ++c)
+        trace::instant(trace::Event::PersistCommit, 0, c * 10,
+                       /*line=*/c);
+    const std::string dump = trace::flightRecorderDump();
+    EXPECT_NE(dump.find("last 4 trace records"), std::string::npos);
+    // Records 1 and 2 were overwritten; 3..6 survive, oldest first.
+    EXPECT_EQ(dump.find("id=0x1 "), std::string::npos);
+    EXPECT_EQ(dump.find("id=0x2 "), std::string::npos);
+    const std::size_t p3 = dump.find("id=0x3");
+    const std::size_t p6 = dump.find("id=0x6");
+    EXPECT_NE(p3, std::string::npos);
+    EXPECT_NE(p6, std::string::npos);
+    EXPECT_LT(p3, p6);
+    trace::disableFlightRecorder();
+    EXPECT_EQ(trace::flightRecorderDump(), "");
+}
+
+TEST_F(TraceFixture, PanicCarriesFlightRecorderTail)
+{
+    trace::setCategories("persist");
+    trace::enableFlightRecorder(8);
+    trace::instant(trace::Event::PersistCommit, 1, 77, /*line=*/0xabc);
+    try {
+        tsoper_panic("boom in test");
+        FAIL() << "panic must throw";
+    } catch (const std::logic_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("boom in test"), std::string::npos);
+        EXPECT_NE(what.find("flight recorder"), std::string::npos);
+        EXPECT_NE(what.find("id=0xabc"), std::string::npos);
+    }
+}
+
+TEST_F(TraceFixture, DisabledCategoryCostsNothing)
+{
+    trace::setCategories("");
+    trace::enableFlightRecorder(4);
+    trace::instant(trace::Event::PersistCommit, 0, 5, 1);
+    EXPECT_EQ(trace::flightRecorderDump(), "");
+}
+
+TEST_F(TraceFixture, GroupTagSeparatesCores)
+{
+    EXPECT_NE(trace::groupTag(0, 1), trace::groupTag(1, 1));
+    EXPECT_EQ(trace::groupTag(2, 7) & 0xffffffffffffull, 7ull);
+}
+
+// --------------------------------------------------------------------
+// AuditSink: each check must reject its violation and pass clean logs.
+// --------------------------------------------------------------------
+
+TEST(AuditSink, CleanLogPasses)
+{
+    trace::AuditSink audit;
+    const std::uint64_t g1 = trace::groupTag(0, 1);
+    const std::uint64_t g2 = trace::groupTag(0, 2);
+    audit.record(persistRec(trace::Event::PersistIssue, 0, 10, 0xA0, g1));
+    audit.record(persistRec(trace::Event::PersistCommit, 0, 20, 0xA0, g1));
+    audit.record(persistRec(trace::Event::GroupDurable, 0, 20, g1, 1));
+    audit.record(persistRec(trace::Event::PersistIssue, 0, 30, 0xA0, g2));
+    audit.record(persistRec(trace::Event::PersistCommit, 0, 40, 0xA0, g2));
+    audit.record(persistRec(trace::Event::GroupDurable, 0, 40, g2, 1));
+    audit.record(persistRec(trace::Event::PbEdge, 0, 15, g1, g2));
+    audit.setStrictCoreFifo(true);
+    const trace::AuditResult res = audit.check();
+    EXPECT_TRUE(res.ok) << res.detail;
+    EXPECT_EQ(res.commits, 2u);
+    EXPECT_EQ(res.groups, 2u);
+    EXPECT_EQ(res.edges, 1u);
+}
+
+TEST(AuditSink, SameAddressFifoViolation)
+{
+    trace::AuditSink audit;
+    const std::uint64_t g1 = trace::groupTag(0, 1);
+    const std::uint64_t g2 = trace::groupTag(1, 1);
+    audit.record(persistRec(trace::Event::PersistIssue, 0, 10, 0xA0, g1));
+    audit.record(persistRec(trace::Event::PersistIssue, 1, 12, 0xA0, g2));
+    // g2's commit arrives first: the oldest pending issue is g1's.
+    audit.record(persistRec(trace::Event::PersistCommit, 1, 20, 0xA0, g2));
+    const trace::AuditResult res = audit.check();
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.detail.find("same-address FIFO violated"),
+              std::string::npos);
+}
+
+TEST(AuditSink, GroupAtomicityViolation)
+{
+    trace::AuditSink audit;
+    const std::uint64_t g1 = trace::groupTag(0, 1);
+    audit.record(persistRec(trace::Event::PersistIssue, 0, 10, 0xA0, g1));
+    audit.record(persistRec(trace::Event::PersistIssue, 0, 10, 0xB0, g1));
+    audit.record(persistRec(trace::Event::PersistCommit, 0, 20, 0xA0, g1));
+    audit.record(persistRec(trace::Event::GroupDurable, 0, 20, g1, 2));
+    // A member committing after its group is sealed breaks atomicity.
+    audit.record(persistRec(trace::Event::PersistCommit, 0, 30, 0xB0, g1));
+    const trace::AuditResult res = audit.check();
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.detail.find("group atomicity violated"),
+              std::string::npos);
+}
+
+TEST(AuditSink, PbEdgeViolation)
+{
+    trace::AuditSink audit;
+    const std::uint64_t g1 = trace::groupTag(0, 1);
+    const std::uint64_t g2 = trace::groupTag(1, 1);
+    audit.record(persistRec(trace::Event::PbEdge, 0, 5, g1, g2));
+    audit.record(persistRec(trace::Event::GroupDurable, 1, 10, g2, 1));
+    audit.record(persistRec(trace::Event::GroupDurable, 0, 20, g1, 1));
+    const trace::AuditResult res = audit.check();
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.detail.find("pb-edge violated"), std::string::npos);
+}
+
+TEST(AuditSink, PbEdgeWithPendingGroupIsLegal)
+{
+    // A destination group the run never finished persisting cannot
+    // violate the edge (crash runs truncate the log here).
+    trace::AuditSink audit;
+    const std::uint64_t g1 = trace::groupTag(0, 1);
+    const std::uint64_t g2 = trace::groupTag(1, 1);
+    audit.record(persistRec(trace::Event::PbEdge, 0, 5, g1, g2));
+    audit.record(persistRec(trace::Event::GroupDurable, 0, 20, g1, 1));
+    EXPECT_TRUE(audit.check().ok);
+}
+
+TEST(AuditSink, PerCoreFifoViolation)
+{
+    trace::AuditSink audit;
+    audit.setStrictCoreFifo(true);
+    audit.record(persistRec(trace::Event::GroupDurable, 0, 10,
+                            trace::groupTag(0, 2), 1));
+    audit.record(persistRec(trace::Event::GroupDurable, 0, 20,
+                            trace::groupTag(0, 1), 1));
+    const trace::AuditResult res = audit.check();
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.detail.find("per-core group FIFO violated"),
+              std::string::npos);
+}
+
+TEST(AuditSink, InjectedReorderFaultIsCaught)
+{
+    trace::AuditSink audit;
+    const std::uint64_t g1 = trace::groupTag(0, 1);
+    const std::uint64_t g2 = trace::groupTag(1, 1);
+    audit.record(persistRec(trace::Event::PbEdge, 0, 5, g1, g2));
+    audit.record(persistRec(trace::Event::GroupDurable, 0, 10, g1, 1));
+    audit.record(persistRec(trace::Event::GroupDurable, 1, 30, g2, 1));
+    EXPECT_TRUE(audit.check().ok);
+    ASSERT_TRUE(audit.injectReorderFault(/*seed=*/7));
+    const trace::AuditResult res = audit.check();
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.detail.find("pb-edge violated"), std::string::npos);
+}
+
+// --------------------------------------------------------------------
+// End-to-end: runOne with tracing — the same path as
+//   tsoper_sim --trace-out=F --audit-persists.
+// --------------------------------------------------------------------
+
+namespace
+{
+
+campaign::RunRequest
+smallRun(const std::string &engine)
+{
+    campaign::RunRequest r;
+    r.engine = engine;
+    r.bench = "dedup";
+    r.scale = 0.05;
+    r.seed = 1;
+    r.cores = 4;
+    return r;
+}
+
+} // namespace
+
+TEST_F(TraceFixture, PerfettoExportParsesAndHasSpansAndCounters)
+{
+    const std::string path = tmpPath("trace_out.json");
+    campaign::RunRequest r = smallRun("tsoper");
+    r.traceCategories = "ag,agb,persist";
+    r.traceOut = path;
+    r.auditPersists = true;
+    const campaign::RunResult res = campaign::runOne(r);
+    ASSERT_EQ(res.status, campaign::RunStatus::Ok) << res.detail;
+    ASSERT_TRUE(res.persistAudited);
+    EXPECT_TRUE(res.persistAuditOk) << res.persistAuditDetail;
+    EXPECT_GT(res.persistCommits, 0u);
+    EXPECT_GT(res.persistGroups, 0u);
+
+    Json doc;
+    std::string err;
+    ASSERT_TRUE(Json::parse(slurp(path), &doc, &err)) << err;
+    const Json *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+
+    bool sawAgSpan = false, sawOccupancy = false, sawCoreTrack = false;
+    for (std::size_t i = 0; i < events->size(); ++i) {
+        const Json &e = events->at(i);
+        const Json *ph = e.find("ph");
+        const Json *name = e.find("name");
+        if (!ph || !name)
+            continue;
+        if (ph->asString() == "X" && name->asString() == "ag_retired") {
+            sawAgSpan = true;
+            EXPECT_NE(e.find("dur"), nullptr);
+        }
+        if (ph->asString() == "C" &&
+            name->asString() == "agb_occupancy")
+            sawOccupancy = true;
+        if (ph->asString() == "M" && name->asString() == "thread_name")
+            sawCoreTrack = true;
+    }
+    EXPECT_TRUE(sawAgSpan);
+    EXPECT_TRUE(sawOccupancy);
+    EXPECT_TRUE(sawCoreTrack);
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceFixture, PersistAuditPassesOnEveryEngine)
+{
+    for (const char *engine :
+         {"tsoper", "stw", "bsp", "bsp-slc", "bsp-slc-agb", "hwrp"}) {
+        campaign::RunRequest r = smallRun(engine);
+        r.auditPersists = true;
+        const campaign::RunResult res = campaign::runOne(r);
+        ASSERT_EQ(res.status, campaign::RunStatus::Ok)
+            << engine << ": " << res.detail;
+        ASSERT_TRUE(res.persistAudited) << engine;
+        EXPECT_TRUE(res.persistAuditOk)
+            << engine << ": " << res.persistAuditDetail;
+        EXPECT_GT(res.persistCommits, 0u) << engine;
+        EXPECT_GT(res.persistGroups, 0u) << engine;
+    }
+}
+
+TEST_F(TraceFixture, BspEmptyEpochsCarryPersistOrderForward)
+{
+    // radix at scale 0.1 closes BSP epochs whose every line was
+    // already flushed by eviction (pending == 0): such epochs have no
+    // durable point, and their persist-before deps must transfer to
+    // the core's next epoch instead of evaporating.  This shape once
+    // slipped a cross-core reorder past the audit.
+    campaign::RunRequest r = smallRun("bsp");
+    r.bench = "radix";
+    r.scale = 0.1;
+    r.cores = 8;
+    r.auditPersists = true;
+    const campaign::RunResult res = campaign::runOne(r);
+    ASSERT_EQ(res.status, campaign::RunStatus::Ok) << res.detail;
+    ASSERT_TRUE(res.persistAudited);
+    EXPECT_TRUE(res.persistAuditOk) << res.persistAuditDetail;
+    EXPECT_GT(res.persistEdges, 0u);
+}
+
+TEST_F(TraceFixture, InjectedFaultFailsTheRun)
+{
+    // ocean_cp shares lines across cores, so the log carries pb-edges
+    // for the preferred (pinpointed) corruption.
+    campaign::RunRequest r = smallRun("tsoper");
+    r.bench = "ocean_cp";
+    r.auditPersists = true;
+    r.auditFault = "reorder";
+    const campaign::RunResult res = campaign::runOne(r);
+    EXPECT_EQ(res.status, campaign::RunStatus::CheckFailed);
+    ASSERT_TRUE(res.persistAudited);
+    EXPECT_FALSE(res.persistAuditOk);
+    EXPECT_NE(res.detail.find("violated"), std::string::npos)
+        << res.detail;
+}
+
+TEST_F(TraceFixture, CrashRunKeepsTraceAndPrefixAudit)
+{
+    const std::string path = tmpPath("trace_crash.json");
+    campaign::RunRequest r = smallRun("tsoper");
+    r.crashAt = 0.5;
+    r.check = true;
+    r.traceOut = path;
+    r.auditPersists = true;
+    const campaign::RunResult res = campaign::runOne(r);
+    ASSERT_EQ(res.status, campaign::RunStatus::Ok) << res.detail;
+    EXPECT_TRUE(res.persistAudited);
+    EXPECT_TRUE(res.persistAuditOk) << res.persistAuditDetail;
+    Json doc;
+    std::string err;
+    ASSERT_TRUE(Json::parse(slurp(path), &doc, &err)) << err;
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceFixture, RunRequestTraceFieldsRoundTripJson)
+{
+    campaign::RunRequest r = smallRun("stw");
+    r.traceCategories = "ag,persist";
+    r.traceOut = "/tmp/x.json";
+    r.auditPersists = true;
+    r.auditFault = "reorder";
+    r.flightRecorder = 64;
+    const campaign::RunRequest back =
+        campaign::runRequestFromJson(r.toJson());
+    EXPECT_EQ(back, r);
+    // A request without trace fields must serialize without the keys
+    // (journal compatibility with pre-tracing reports).
+    const campaign::RunRequest plain = smallRun("stw");
+    EXPECT_EQ(plain.toJson().find("trace_categories"), nullptr);
+    EXPECT_EQ(plain.toJson().find("audit_persists"), nullptr);
+}

@@ -15,7 +15,11 @@
  *   --engine=<baseline|baseline-mesi|hwrp|bsp|bsp-slc|bsp-slc-agb|
  *             stw|tsoper>                       (default tsoper)
  *   --bench=<name>         workload profile     (default ocean_cp)
- *   --trace=<file>         drive from a trace file instead
+ *   --trace=<file|cats>    drive from a trace file — or, when every
+ *                          comma token is a structured-trace category
+ *                          ("ag,agb,slc" / "all"), enable those trace
+ *                          categories; --trace-file= /
+ *                          --trace-categories= disambiguate
  *   --scale=<f>            workload scale       (default 1.0)
  *   --seed=<n>             workload seed        (default 1)
  *   --cores=<n>            core count           (default 8)
@@ -33,6 +37,16 @@
  *   --describe             print the configuration and exit
  *   --list-benchmarks      print available profiles and exit
  *   --max-cycles=<n>       simulated-cycle budget (default 4e9)
+ *   --trace-out=<file>     export the run as Chrome/Perfetto
+ *                          trace_event JSON (docs/observability.md)
+ *   --audit-persists       collect the persist stream and verify it is
+ *                          a valid strict-persistency order
+ *   --audit-fault=reorder  corrupt the audit log before checking, to
+ *                          prove the checker rejects invalid orders
+ *   --flight-recorder=<n>  keep the last n trace records for crash /
+ *                          hang dumps
+ *   --list-debug-flags     print TSOPER_DEBUG flags and structured-
+ *                          trace categories, then exit
  *   --result-json=<file>   write the full campaign::RunResult as JSON
  *                          (the subprocess executor's wire format)
  *   --selftest=<mode>      fault-injection hooks for the subprocess
@@ -53,6 +67,7 @@
  *      simulated-cycle budget ran out)
  */
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <fstream>
@@ -66,7 +81,9 @@
 
 #include "campaign/run_request.hh"
 #include "core/system.hh"
+#include "sim/debug.hh"
 #include "sim/stats_json.hh"
+#include "sim/trace.hh"
 #include "workload/generators.hh"
 #include "workload/trace_io.hh"
 
@@ -98,7 +115,32 @@ struct CliOptions
     bool stats = false;
     bool describe = false;
     bool listBenchmarks = false;
+    bool listDebugFlags = false;
 };
+
+/** Is @p csv entirely structured-trace category names ("ag,slc",
+ *  "all")?  Distinguishes --trace=<categories> from --trace=<file>. */
+bool
+looksLikeTraceCategories(const std::string &csv)
+{
+    if (csv.empty())
+        return false;
+    const std::vector<std::string> &names = trace::categoryNames();
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        const std::size_t comma = csv.find(',', pos);
+        const std::string tok =
+            csv.substr(pos, comma == std::string::npos ? std::string::npos
+                                                       : comma - pos);
+        if (tok != "all" &&
+            std::find(names.begin(), names.end(), tok) == names.end())
+            return false;
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return true;
+}
 
 /**
  * Deliberate misbehaviour for the subprocess executor's ctest: a
@@ -140,6 +182,10 @@ usage(int code)
                 "[--stats] [--stats-out=F]\n"
                 "                  [--stats-json=F] [--result-json=F] "
                 "[--max-cycles=N]\n"
+                "                  [--trace-out=F] [--trace-categories=C] "
+                "[--audit-persists]\n"
+                "                  [--audit-fault=reorder] "
+                "[--flight-recorder=N] [--list-debug-flags]\n"
                 "                  [--save-trace=F] [--describe] "
                 "[--list-benchmarks]\n");
     std::exit(code);
@@ -159,8 +205,27 @@ parseCli(int argc, char **argv)
                 opt.run.engine = val("--engine=");
             else if (arg.rfind("--bench=", 0) == 0)
                 opt.run.bench = val("--bench=");
-            else if (arg.rfind("--trace=", 0) == 0)
-                opt.run.traceFile = val("--trace=");
+            else if (arg.rfind("--trace=", 0) == 0) {
+                const std::string v = val("--trace=");
+                if (looksLikeTraceCategories(v))
+                    opt.run.traceCategories = v;
+                else
+                    opt.run.traceFile = v;
+            } else if (arg.rfind("--trace-file=", 0) == 0)
+                opt.run.traceFile = val("--trace-file=");
+            else if (arg.rfind("--trace-categories=", 0) == 0)
+                opt.run.traceCategories = val("--trace-categories=");
+            else if (arg.rfind("--trace-out=", 0) == 0)
+                opt.run.traceOut = val("--trace-out=");
+            else if (arg == "--audit-persists")
+                opt.run.auditPersists = true;
+            else if (arg.rfind("--audit-fault=", 0) == 0)
+                opt.run.auditFault = val("--audit-fault=");
+            else if (arg.rfind("--flight-recorder=", 0) == 0)
+                opt.run.flightRecorder = static_cast<unsigned>(
+                    std::stoul(val("--flight-recorder=")));
+            else if (arg == "--list-debug-flags")
+                opt.listDebugFlags = true;
             else if (arg.rfind("--save-trace=", 0) == 0)
                 opt.saveTrace = val("--save-trace=");
             else if (arg.rfind("--stats-out=", 0) == 0)
@@ -228,6 +293,18 @@ main(int argc, char **argv)
                         "locks=%u\n",
                         p.name.c_str(), p.opsPerCore, p.writeFrac,
                         p.sharedFrac, p.numLocks);
+        return ExitOk;
+    }
+
+    if (opt.listDebugFlags) {
+        std::printf("debug flags (TSOPER_DEBUG=, comma-separated; "
+                    "'all' enables everything):\n");
+        for (const std::string &name : debug::flagNames())
+            std::printf("  %s\n", name.c_str());
+        std::printf("trace categories (--trace-categories=, "
+                    "--trace=):\n");
+        for (const std::string &name : trace::categoryNames())
+            std::printf("  %s\n", name.c_str());
         return ExitOk;
     }
 
@@ -333,6 +410,18 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(res.drainCycles));
     if (!res.recoverySummary.empty())
         std::printf("%s\n", res.recoverySummary.c_str());
+    if (res.persistAudited) {
+        std::printf("persist audit: %s (%llu commits, %llu groups, "
+                    "%llu pb-edges)\n",
+                    res.persistAuditOk ? "ok" : "FAILED",
+                    static_cast<unsigned long long>(res.persistCommits),
+                    static_cast<unsigned long long>(res.persistGroups),
+                    static_cast<unsigned long long>(res.persistEdges));
+        if (!res.persistAuditOk)
+            std::printf("  %s\n", res.persistAuditDetail.c_str());
+    }
+    if (!opt.run.traceOut.empty())
+        std::printf("trace written to %s\n", opt.run.traceOut.c_str());
     if (opt.stats)
         std::fputs(statsText.c_str(), stdout);
     if (!opt.statsOut.empty())
