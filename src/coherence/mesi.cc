@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/log.hh"
+#include "sim/shard_fence.hh"
 
 namespace tsoper
 {
@@ -11,7 +12,7 @@ namespace tsoper
 MesiProtocol::MesiProtocol(const SystemConfig &cfg, EventQueue &eq,
                            Mesh &mesh, Llc &llc, Nvm &nvm,
                            StatsRegistry &stats)
-    : cfg_(cfg), eq_(eq), mesh_(mesh), llc_(llc), nvm_(nvm),
+    : cfg_(cfg), eq_(eq), bus_(cfg, eq, mesh), llc_(llc), nvm_(nvm),
       serializer_(eq), capacity_(cfg.dirEntriesPerBank, cfg.llcBanks,
                                  cfg.dirEvictBufferEntries, stats),
       banks_(cfg.llcBanks),
@@ -93,18 +94,19 @@ void
 MesiProtocol::submitTxn(CoreId core, LineAddr line,
                         LineSerializer::Body body, Cycle departAt)
 {
-    const Cycle arrival = mesh_.route(mesh_.coreNode(core),
-                                      mesh_.bankNode(bankOf(line)),
-                                      cfg_.ctrlMsgBytes, departAt);
-    eq_.schedule(arrival, [this, line, body = std::move(body)]() mutable {
-        serializer_.submit(line, std::move(body));
-    });
+    bus_.send(bus_.coreNode(core), bus_.bankNode(bankOf(line)),
+              cfg_.ctrlMsgBytes, departAt,
+              [this, line, body = std::move(body)]() mutable {
+                  serializer_.submit(line, std::move(body));
+              });
 }
 
 Cycle
 MesiProtocol::loadTxn(CoreId core, Addr addr, LoadDone done, Cycle t)
 {
     const LineAddr line = lineOf(addr);
+    // Transaction bodies execute at the directory bank's tile.
+    shardFenceCheck(bus_.bankNode(bankOf(line)));
     if (Node *n = findNode(core, line); n && n->st != St::I) {
         // Raced: an earlier queued transaction already fetched it.
         done(t + dirLatency_, n->words[wordOf(addr)]);
@@ -118,21 +120,21 @@ MesiProtocol::loadTxn(CoreId core, Addr addr, LoadDone done, Cycle t)
     if (e.owner != invalidCore) {
         const CoreId o = e.owner;
         Node &on = node(o, line);
-        const Cycle fwdAt = mesh_.route(mesh_.bankNode(bankOf(line)),
-                                        mesh_.coreNode(o),
+        const Cycle fwdAt = bus_.arrival(bus_.bankNode(bankOf(line)),
+                                        bus_.coreNode(o),
                                         cfg_.ctrlMsgBytes, t);
         Cycle ready = std::max(fwdAt, on.dataReadyAt);
         if (on.st == St::M)
             ready = std::max(ready,
                              hooks_->onDirtyExpose(o, line, core, false, t));
         // The data reply leaves first (critical path)...
-        dataAt = mesh_.route(mesh_.coreNode(o), mesh_.coreNode(core),
+        dataAt = bus_.arrival(bus_.coreNode(o), bus_.coreNode(core),
                              lineBytes + cfg_.ctrlMsgBytes, ready);
         if (on.st == St::M) {
             // ...then the MESI downgrade writeback.
             llc_.install(line, on.words, true, t);
             coherenceWb_.inc();
-            mesh_.route(mesh_.coreNode(o), mesh_.bankNode(bankOf(line)),
+            bus_.arrival(bus_.coreNode(o), bus_.bankNode(bankOf(line)),
                         lineBytes + cfg_.ctrlMsgBytes, ready);
         }
         words = on.words;
@@ -142,8 +144,8 @@ MesiProtocol::loadTxn(CoreId core, Addr addr, LoadDone done, Cycle t)
     } else if (e.sharers != 0 || llc_.contains(line)) {
         if (llc_.contains(line)) {
             words = llc_.lookup(line);
-            dataAt = mesh_.route(mesh_.bankNode(bankOf(line)),
-                                 mesh_.coreNode(core),
+            dataAt = bus_.arrival(bus_.bankNode(bankOf(line)),
+                                 bus_.coreNode(core),
                                  lineBytes + cfg_.ctrlMsgBytes,
                                  llc_.access(line, t));
         } else {
@@ -153,10 +155,10 @@ MesiProtocol::loadTxn(CoreId core, Addr addr, LoadDone done, Cycle t)
                 if (e.sharers & bit(c)) { s = c; break; }
             tsoper_assert(s != invalidCore);
             Node &sn = node(s, line);
-            const Cycle fwdAt = mesh_.route(mesh_.bankNode(bankOf(line)),
-                                            mesh_.coreNode(s),
+            const Cycle fwdAt = bus_.arrival(bus_.bankNode(bankOf(line)),
+                                            bus_.coreNode(s),
                                             cfg_.ctrlMsgBytes, t);
-            dataAt = mesh_.route(mesh_.coreNode(s), mesh_.coreNode(core),
+            dataAt = bus_.arrival(bus_.coreNode(s), bus_.coreNode(core),
                                  lineBytes + cfg_.ctrlMsgBytes,
                                  std::max(fwdAt, sn.dataReadyAt));
             words = sn.words;
@@ -181,6 +183,7 @@ MesiProtocol::storeTxn(CoreId core, Addr addr, StoreId store,
                        StoreDone done, Cycle t)
 {
     const LineAddr line = lineOf(addr);
+    shardFenceCheck(bus_.bankNode(bankOf(line)));
     if (hooks_->tryDeferStoreCommit(core, line,
                                     [this, core, addr, store, done] {
             this->store(core, addr, store, done);
@@ -206,14 +209,14 @@ MesiProtocol::storeTxn(CoreId core, Addr addr, StoreId store,
     if (e.owner != invalidCore && e.owner != core) {
         const CoreId o = e.owner;
         Node &on = node(o, line);
-        const Cycle fwdAt = mesh_.route(mesh_.bankNode(bankOf(line)),
-                                        mesh_.coreNode(o),
+        const Cycle fwdAt = bus_.arrival(bus_.bankNode(bankOf(line)),
+                                        bus_.coreNode(o),
                                         cfg_.ctrlMsgBytes, t);
         Cycle ready = std::max(fwdAt, on.dataReadyAt);
         if (on.st == St::M)
             ready = std::max(ready,
                              hooks_->onDirtyExpose(o, line, core, true, t));
-        dataAt = mesh_.route(mesh_.coreNode(o), mesh_.coreNode(core),
+        dataAt = bus_.arrival(bus_.coreNode(o), bus_.coreNode(core),
                              lineBytes + cfg_.ctrlMsgBytes, ready);
         words = on.words;
         on.st = St::I;
@@ -223,8 +226,8 @@ MesiProtocol::storeTxn(CoreId core, Addr addr, StoreId store,
         upgrades_.inc();
         words = mine->words;
         const Cycle ackAt = invalidateSharers(line, core, core, t);
-        dataAt = std::max(ackAt, mesh_.route(mesh_.bankNode(bankOf(line)),
-                                             mesh_.coreNode(core),
+        dataAt = std::max(ackAt, bus_.arrival(bus_.bankNode(bankOf(line)),
+                                             bus_.coreNode(core),
                                              cfg_.ctrlMsgBytes, t));
     } else if (e.sharers != 0 || llc_.contains(line)) {
         misses_.inc();
@@ -237,8 +240,8 @@ MesiProtocol::storeTxn(CoreId core, Addr addr, StoreId store,
             tsoper_assert(s != invalidCore);
             words = node(s, line).words;
         }
-        const Cycle llcAt = mesh_.route(mesh_.bankNode(bankOf(line)),
-                                        mesh_.coreNode(core),
+        const Cycle llcAt = bus_.arrival(bus_.bankNode(bankOf(line)),
+                                        bus_.coreNode(core),
                                         lineBytes + cfg_.ctrlMsgBytes,
                                         llc_.access(line, t));
         const Cycle ackAt = invalidateSharers(line, core, core, t);
@@ -274,8 +277,8 @@ MesiProtocol::fetchFromMemory(CoreId core, LineAddr line, Cycle t)
         at = nvm_.read(line, llc_.access(line, t));
         llc_.install(line, words, false, t);
     }
-    const Cycle dataAt = mesh_.route(mesh_.bankNode(bankOf(line)),
-                                     mesh_.coreNode(core),
+    const Cycle dataAt = bus_.arrival(bus_.bankNode(bankOf(line)),
+                                     bus_.coreNode(core),
                                      lineBytes + cfg_.ctrlMsgBytes, at);
     return {dataAt, words};
 }
@@ -289,11 +292,11 @@ MesiProtocol::invalidateSharers(LineAddr line, CoreId except,
     for (CoreId c = 0; c < static_cast<CoreId>(cfg_.numCores); ++c) {
         if (!(e.sharers & bit(c)) || c == except)
             continue;
-        const Cycle invAt = mesh_.route(mesh_.bankNode(bankOf(line)),
-                                        mesh_.coreNode(c),
+        const Cycle invAt = bus_.arrival(bus_.bankNode(bankOf(line)),
+                                        bus_.coreNode(c),
                                         cfg_.ctrlMsgBytes, t);
-        const Cycle ackAt = mesh_.route(mesh_.coreNode(c),
-                                        mesh_.coreNode(requester),
+        const Cycle ackAt = bus_.arrival(bus_.coreNode(c),
+                                        bus_.coreNode(requester),
                                         cfg_.ctrlMsgBytes, invAt);
         lastAck = std::max(lastAck, ackAt);
         arrays_[static_cast<unsigned>(c)].erase(line);
@@ -320,12 +323,12 @@ MesiProtocol::handleVictim(CoreId core, LineAddr victim, Cycle t)
     if (v.st == St::M) {
         llc_.install(victim, v.words, true, t);
         coherenceWb_.inc();
-        mesh_.route(mesh_.coreNode(core), mesh_.bankNode(bankOf(victim)),
+        bus_.arrival(bus_.coreNode(core), bus_.bankNode(bankOf(victim)),
                     lineBytes + cfg_.ctrlMsgBytes, t);
         hooks_->onDirtyEvict(core, victim, ExposeReason::Eviction, t);
     } else {
         // Silent clean eviction; notify the directory (traffic only).
-        mesh_.route(mesh_.coreNode(core), mesh_.bankNode(bankOf(victim)),
+        bus_.arrival(bus_.coreNode(core), bus_.bankNode(bankOf(victim)),
                     cfg_.ctrlMsgBytes, t);
     }
     if (e.owner == core)
@@ -338,6 +341,7 @@ MesiProtocol::handleVictim(CoreId core, LineAddr victim, Cycle t)
 void
 MesiProtocol::teardownEntry(LineAddr victim, Cycle t)
 {
+    shardFenceCheck(bus_.bankNode(bankOf(victim)));
     Entry &e = entries_[victim];
     if (e.owner != invalidCore) {
         const CoreId o = e.owner;
@@ -345,7 +349,7 @@ MesiProtocol::teardownEntry(LineAddr victim, Cycle t)
         if (on.st == St::M) {
             llc_.install(victim, on.words, true, t);
             coherenceWb_.inc();
-            mesh_.route(mesh_.coreNode(o), mesh_.bankNode(bankOf(victim)),
+            bus_.arrival(bus_.coreNode(o), bus_.bankNode(bankOf(victim)),
                         lineBytes + cfg_.ctrlMsgBytes, t);
             hooks_->onDirtyEvict(o, victim, ExposeReason::DirEviction, t);
         }
@@ -356,7 +360,7 @@ MesiProtocol::teardownEntry(LineAddr victim, Cycle t)
     for (CoreId c = 0; c < static_cast<CoreId>(cfg_.numCores); ++c) {
         if (!(e.sharers & bit(c)))
             continue;
-        mesh_.route(mesh_.bankNode(bankOf(victim)), mesh_.coreNode(c),
+        bus_.arrival(bus_.bankNode(bankOf(victim)), bus_.coreNode(c),
                     cfg_.ctrlMsgBytes, t);
         arrays_[static_cast<unsigned>(c)].erase(victim);
         nodes_[static_cast<unsigned>(c)].erase(victim);
@@ -408,7 +412,7 @@ MesiProtocol::flushLine(CoreId core, LineAddr line, Cycle earliest,
             return;
         }
         const Cycle at =
-            mesh_.route(mesh_.coreNode(core), mesh_.bankNode(bankOf(line)),
+            bus_.arrival(bus_.coreNode(core), bus_.bankNode(bankOf(line)),
                         lineBytes + cfg_.ctrlMsgBytes, eq_.now());
         llc_.install(line, n->words, true, eq_.now());
         coherenceWb_.inc();

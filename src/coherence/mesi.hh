@@ -28,6 +28,7 @@
 #include "mem/llc.hh"
 #include "mem/nvm.hh"
 #include "noc/mesh.hh"
+#include "noc/message_bus.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
@@ -115,7 +116,8 @@ class MesiProtocol : public CoherenceProtocol
 
     const SystemConfig &cfg_;
     EventQueue &eq_;
-    Mesh &mesh_;
+    /** Explicit cross-tile message path (see docs/pdes.md). */
+    MessageBus bus_;
     Llc &llc_;
     Nvm &nvm_;
     LineSerializer serializer_;

@@ -5,6 +5,7 @@
 
 #include "sim/debug.hh"
 #include "sim/log.hh"
+#include "sim/shard_fence.hh"
 #include "sim/trace.hh"
 
 namespace tsoper
@@ -12,7 +13,8 @@ namespace tsoper
 
 SlcProtocol::SlcProtocol(const SystemConfig &cfg, EventQueue &eq, Mesh &mesh,
                          Llc &llc, Nvm &nvm, StatsRegistry &stats)
-    : cfg_(cfg), eq_(eq), mesh_(mesh), llc_(llc), nvm_(nvm), stats_(stats),
+    : cfg_(cfg), eq_(eq), bus_(cfg, eq, mesh), llc_(llc), nvm_(nvm),
+      stats_(stats),
       serializer_(eq), capacity_(cfg.dirEntriesPerBank, cfg.llcBanks,
                                  cfg.dirEvictBufferEntries, stats),
       banks_(cfg.llcBanks), evictBufOcc_(cfg.numCores, 0),
@@ -105,12 +107,11 @@ void
 SlcProtocol::submitTxn(CoreId core, LineAddr line, LineSerializer::Body body,
                        Cycle departAt)
 {
-    const Cycle arrival = mesh_.route(mesh_.coreNode(core),
-                                      mesh_.bankNode(bankOf(line)),
-                                      cfg_.ctrlMsgBytes, departAt);
-    eq_.schedule(arrival, [this, line, body = std::move(body)]() mutable {
-        serializer_.submit(line, std::move(body));
-    });
+    bus_.send(bus_.coreNode(core), bus_.bankNode(bankOf(line)),
+              cfg_.ctrlMsgBytes, departAt,
+              [this, line, body = std::move(body)]() mutable {
+                  serializer_.submit(line, std::move(body));
+              });
 }
 
 bool
@@ -147,6 +148,8 @@ Cycle
 SlcProtocol::loadTxn(CoreId core, Addr addr, LoadDone done, Cycle t)
 {
     const LineAddr line = lineOf(addr);
+    // Transaction bodies execute at the directory bank's tile.
+    shardFenceCheck(bus_.bankNode(bankOf(line)));
     if (entries_[line].zombie) {
         zombieWaiters_[line].push_back([this, core, addr, done] {
             load(core, addr, done);
@@ -182,22 +185,22 @@ SlcProtocol::loadTxn(CoreId core, Addr addr, LoadDone done, Cycle t)
     } else {
         Node &hn = node(h, line);
         sourceDirty = hn.dirty;
-        const Cycle fwdAt = mesh_.route(mesh_.bankNode(bankOf(line)),
-                                        mesh_.coreNode(h),
+        const Cycle fwdAt = bus_.arrival(bus_.bankNode(bankOf(line)),
+                                        bus_.coreNode(h),
                                         cfg_.ctrlMsgBytes, t);
         Cycle ready = std::max(fwdAt, hn.dataReadyAt);
         if (hn.dirty)
             ready = std::max(ready,
                              hooks_->onDirtyExpose(h, line, core, false, t));
         // The data reply leaves first (critical path)...
-        dataAt = mesh_.route(mesh_.coreNode(h), mesh_.coreNode(core),
+        dataAt = bus_.arrival(bus_.coreNode(h), bus_.coreNode(core),
                              lineBytes + cfg_.ctrlMsgBytes, ready);
         if (hn.dirty && hooks_->writebackOnDowngrade()) {
             // ...then the conventional downgrade writeback: the owner
             // writes the dirty data back and becomes a clean sharer.
             llc_.install(line, hn.words, true, t);
             coherenceWb_.inc();
-            mesh_.route(mesh_.coreNode(h), mesh_.bankNode(bankOf(line)),
+            bus_.arrival(bus_.coreNode(h), bus_.bankNode(bankOf(line)),
                         lineBytes + cfg_.ctrlMsgBytes, ready);
             hn.dirty = false;
             sourceDirty = false;
@@ -222,6 +225,7 @@ SlcProtocol::storeTxn(CoreId core, Addr addr, StoreId store, StoreDone done,
                       Cycle t)
 {
     const LineAddr line = lineOf(addr);
+    shardFenceCheck(bus_.bankNode(bankOf(line)));
     if (entries_[line].zombie) {
         zombieWaiters_[line].push_back([this, core, addr, store, done] {
             this->store(core, addr, store, done);
@@ -274,8 +278,8 @@ SlcProtocol::storeTxn(CoreId core, Addr addr, StoreId store, StoreDone done,
                 node(h, line).bwd = core;
             e.head = core;
         }
-        permissionAt = mesh_.route(mesh_.bankNode(bankOf(line)),
-                                   mesh_.coreNode(core), cfg_.ctrlMsgBytes,
+        permissionAt = bus_.arrival(bus_.bankNode(bankOf(line)),
+                                   bus_.coreNode(core), cfg_.ctrlMsgBytes,
                                    t);
         n->dataReadyAt = std::max(n->dataReadyAt, permissionAt);
     } else {
@@ -287,8 +291,8 @@ SlcProtocol::storeTxn(CoreId core, Addr addr, StoreId store, StoreDone done,
             std::tie(dataAt, words) = fetchFromMemory(core, line, t);
         } else {
             Node &hn = node(h, line);
-            const Cycle fwdAt = mesh_.route(mesh_.bankNode(bankOf(line)),
-                                            mesh_.coreNode(h),
+            const Cycle fwdAt = bus_.arrival(bus_.bankNode(bankOf(line)),
+                                            bus_.coreNode(h),
                                             cfg_.ctrlMsgBytes, t);
             Cycle ready = std::max(fwdAt, hn.dataReadyAt);
             if (hn.dirty) {
@@ -296,7 +300,7 @@ SlcProtocol::storeTxn(CoreId core, Addr addr, StoreId store, StoreDone done,
                                                               true, t));
                 exposedInDataPath = h;
             }
-            dataAt = mesh_.route(mesh_.coreNode(h), mesh_.coreNode(core),
+            dataAt = bus_.arrival(bus_.coreNode(h), bus_.coreNode(core),
                                  lineBytes + cfg_.ctrlMsgBytes, ready);
             words = hn.words;
         }
@@ -335,8 +339,8 @@ SlcProtocol::fetchFromMemory(CoreId core, LineAddr line, Cycle t)
         at = nvm_.read(line, llc_.access(line, t));
         llc_.install(line, words, false, t);
     }
-    const Cycle dataAt = mesh_.route(mesh_.bankNode(bankOf(line)),
-                                     mesh_.coreNode(core),
+    const Cycle dataAt = bus_.arrival(bus_.bankNode(bankOf(line)),
+                                     bus_.coreNode(core),
                                      lineBytes + cfg_.ctrlMsgBytes, at);
     return {dataAt, words};
 }
@@ -384,7 +388,7 @@ SlcProtocol::invalidateBelow(CoreId newHead, LineAddr line, Cycle t,
                            v.dirty);
             // Background invalidation message (traffic accounting only;
             // write permission was already granted at link-up, OBS 3).
-            mesh_.route(mesh_.bankNode(bankOf(line)), mesh_.coreNode(cur),
+            bus_.arrival(bus_.bankNode(bankOf(line)), bus_.coreNode(cur),
                         cfg_.ctrlMsgBytes, t);
             if (v.dirty) {
                 if (cur != alreadyExposed)
@@ -454,8 +458,8 @@ SlcProtocol::handleVictim(CoreId core, LineAddr victim, Cycle t)
             if (v.valid) {
                 llc_.install(victim, v.words, true, t);
                 coherenceWb_.inc();
-                mesh_.route(mesh_.coreNode(core),
-                            mesh_.bankNode(bankOf(victim)),
+                bus_.arrival(bus_.coreNode(core),
+                            bus_.bankNode(bankOf(victim)),
                             lineBytes + cfg_.ctrlMsgBytes, t);
                 hooks_->onDirtyEvict(core, victim,
                                      ExposeReason::Eviction, t);
@@ -480,6 +484,7 @@ SlcProtocol::handleVictim(CoreId core, LineAddr victim, Cycle t)
 void
 SlcProtocol::teardownEntry(LineAddr victim, Cycle t)
 {
+    shardFenceCheck(bus_.bankNode(bankOf(victim)));
     auto eit = entries_.find(victim);
     tsoper_assert(eit != entries_.end(), "teardown of absent entry");
     Entry &e = eit->second;
@@ -503,7 +508,7 @@ SlcProtocol::teardownEntry(LineAddr victim, Cycle t)
             continue;
         Node &v = *vp;
         v.valid = false;
-        mesh_.route(mesh_.bankNode(bankOf(victim)), mesh_.coreNode(c),
+        bus_.arrival(bus_.bankNode(bankOf(victim)), bus_.coreNode(c),
                     cfg_.ctrlMsgBytes, t);
         if (v.dirty) {
             if (hooks_->dropsInvalidDirty()) {
@@ -658,7 +663,7 @@ SlcProtocol::persistComplete(CoreId core, LineAddr line, Cycle now)
     // (§II-B — the LLC is constantly updated while the AGB enqueues).
     llc_.install(line, n.words, true, now);
     coherenceWb_.inc();
-    mesh_.route(mesh_.coreNode(core), mesh_.bankNode(bankOf(line)),
+    bus_.arrival(bus_.coreNode(core), bus_.bankNode(bankOf(line)),
                 lineBytes + cfg_.ctrlMsgBytes, now);
     TSOPER_TRACE(Slc, now, "core " << core << "'s version of line 0x"
                  << std::hex << line << std::dec

@@ -37,6 +37,7 @@
 #include "mem/llc.hh"
 #include "mem/nvm.hh"
 #include "noc/mesh.hh"
+#include "noc/message_bus.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
@@ -207,7 +208,10 @@ class SlcProtocol : public CoherenceProtocol
     // --- wiring -------------------------------------------------------
     const SystemConfig &cfg_;
     EventQueue &eq_;
-    Mesh &mesh_;
+    /** All cross-tile traffic (requests, forwards, data replies,
+     *  writebacks) goes through the bus — the explicit message path
+     *  the sharded kernel relies on (docs/pdes.md). */
+    MessageBus bus_;
     Llc &llc_;
     Nvm &nvm_;
     StatsRegistry &stats_;

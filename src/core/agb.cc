@@ -4,6 +4,7 @@
 
 #include "sim/debug.hh"
 #include "sim/log.hh"
+#include "sim/shard_fence.hh"
 #include "sim/trace.hh"
 
 namespace tsoper
@@ -11,7 +12,7 @@ namespace tsoper
 
 Agb::Agb(const SystemConfig &cfg, EventQueue &eq, Mesh &mesh, Nvm &nvm,
          Llc &llc, StatsRegistry &stats)
-    : cfg_(cfg), eq_(eq), mesh_(mesh), nvm_(nvm), llc_(llc),
+    : cfg_(cfg), eq_(eq), bus_(cfg, eq, mesh), nvm_(nvm), llc_(llc),
       distributed_(cfg.agbDistributed), unbounded_(cfg.agbUnbounded),
       slices_(cfg.agbDistributed ? cfg.nvmRanks : 1),
       sliceCapacity_(cfg.agbDistributed
@@ -64,18 +65,19 @@ Agb::requestAllocation(CoreId from, std::vector<LineAddr> lines,
     }
     // Two-phase ingress: the request travels to the arbiter; grants are
     // issued in FIFO order as space allows.
-    const Cycle arrival = mesh_.route(mesh_.coreNode(from), arbiterNode_,
-                                      cfg_.ctrlMsgBytes, eq_.now());
-    eq_.schedule(arrival, [this, h] {
-        allocQueue_.push_back(h);
-        tryGrant();
-    });
+    bus_.send(bus_.coreNode(from), arbiterNode_, cfg_.ctrlMsgBytes,
+              [this, h] {
+                  allocQueue_.push_back(h);
+                  tryGrant();
+              });
     return h;
 }
 
 void
 Agb::tryGrant()
 {
+    // Grant arbitration runs at the arbiter's tile.
+    shardFenceCheck(arbiterNode_);
     while (!allocQueue_.empty()) {
         auto it = ags_.find(allocQueue_.front());
         tsoper_assert(it != ags_.end());
@@ -107,12 +109,10 @@ Agb::grant(AgRec &ag)
                    total);
     fifo_.push_back(ag.handle);
     // Broadcast the grant back to the requesting L1.
-    const Cycle grantAt = mesh_.route(arbiterNode_,
-                                      mesh_.coreNode(ag.from),
-                                      cfg_.ctrlMsgBytes, eq_.now());
     auto cb = ag.grantedCb;
     const AgHandle h = ag.handle;
-    eq_.schedule(grantAt, [this, h, cb] {
+    bus_.send(arbiterNode_, bus_.coreNode(ag.from), cfg_.ctrlMsgBytes,
+              [this, h, cb] {
         if (cb)
             cb(eq_.now());
         // Empty AGs (all-clean groups) complete immediately.
@@ -138,8 +138,8 @@ Agb::bufferLine(AgHandle h, LineAddr line, const LineWords &words,
     const unsigned s = sliceOf(line);
     // NoC leg to the slice, then the SRAM port serializes writes.
     const int sliceNode =
-        distributed_ ? mesh_.mcNode(nvm_.rankOf(line)) : arbiterNode_;
-    const Cycle arrive = mesh_.route(mesh_.coreNode(ag.from), sliceNode,
+        distributed_ ? bus_.mcNode(nvm_.rankOf(line)) : arbiterNode_;
+    const Cycle arrive = bus_.arrival(bus_.coreNode(ag.from), sliceNode,
                                      lineBytes + cfg_.ctrlMsgBytes,
                                      eq_.now());
     const Cycle start = std::max(arrive, slicePortBusy_[s]);

@@ -37,6 +37,7 @@
 #include "mem/llc.hh"
 #include "mem/nvm.hh"
 #include "noc/mesh.hh"
+#include "noc/message_bus.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
@@ -125,7 +126,8 @@ class Agb
 
     const SystemConfig &cfg_;
     EventQueue &eq_;
-    Mesh &mesh_;
+    /** Explicit cross-tile message path (see docs/pdes.md). */
+    MessageBus bus_;
     Nvm &nvm_;
     Llc &llc_;
     bool distributed_;

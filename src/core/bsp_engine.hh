@@ -36,6 +36,7 @@
 #include "mem/llc.hh"
 #include "mem/nvm.hh"
 #include "noc/mesh.hh"
+#include "noc/message_bus.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
@@ -116,7 +117,8 @@ class BspEngine : public PersistEngine
 
     const SystemConfig &cfg_;
     EventQueue &eq_;
-    Mesh &mesh_;
+    /** Explicit cross-tile message path (see docs/pdes.md). */
+    MessageBus bus_;
     Llc &llc_;
     Nvm &nvm_;
     MesiProtocol *mesi_;

@@ -4,6 +4,7 @@
 
 #include "sim/debug.hh"
 #include "sim/log.hh"
+#include "sim/shard_fence.hh"
 
 namespace tsoper
 {
@@ -113,6 +114,8 @@ Cpu::advanceAt(Cycle at)
 void
 Cpu::step()
 {
+    // Retirement executes on this core's tile (node id == core id).
+    shardFenceCheck(static_cast<unsigned>(id_));
     if (finished_)
         return;
     if (engine_.coreStalled(id_)) {

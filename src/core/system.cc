@@ -16,6 +16,10 @@ namespace tsoper
 
 System::System(const SystemConfig &cfg, const Workload &workload)
     : cfg_(cfg),
+      kernel_(/*shards=*/1, std::max(1u, cfg_.threads),
+              std::max<Cycle>(1, cfg_.hopLatency)),
+      eq_(kernel_.shard(0)),
+      fence_(cfg_.meshCols * cfg_.meshRows, /*shard=*/0),
       logCycle_(
           [](const void *eq) {
               return static_cast<const EventQueue *>(eq)->now();
@@ -25,6 +29,7 @@ System::System(const SystemConfig &cfg, const Workload &workload)
       llc_(cfg_, nvm_, stats_), sync_(cfg_.numCores, eq_)
 {
     cfg_.validate();
+    kernel_.setFenceMap(&fence_);
     if (!cfg_.traceCategories.empty())
         trace::setCategories(cfg_.traceCategories);
     if (cfg_.flightRecorderDepth > 0)
@@ -115,14 +120,14 @@ System::run(Cycle maxCycles)
 
     for (auto &cpu : cpus_)
         cpu->start();
-    runGuarded(eq_, [this] { return allFinished(); }, maxCycles,
+    runGuarded(kernel_, [this] { return allFinished(); }, maxCycles,
                watchdog, progress, dump, "execution");
     const Cycle finish = finishCycle();
     stats_.counter("sys.exec_cycles").inc(finish);
     bool drained = false;
     engine_->drain([&drained] { drained = true; });
-    runGuarded(eq_, [&drained] { return drained; }, maxCycles, watchdog,
-               progress, dump, "persistency drain");
+    runGuarded(kernel_, [&drained] { return drained; }, maxCycles,
+               watchdog, progress, dump, "persistency drain");
     stats_.counter("sys.drain_cycles").inc(eq_.now() - finish);
     return finish;
 }
@@ -133,7 +138,7 @@ System::runUntilCrash(Cycle crashAt)
     for (auto &cpu : cpus_)
         cpu->start();
     if (!cfg_.watchdogCheckEvents) {
-        eq_.run(crashAt);
+        kernel_.run(crashAt);
         return durableImage();
     }
     // Reaching crashAt (or draining early) is normal completion here,
@@ -147,7 +152,7 @@ System::runUntilCrash(Cycle crashAt)
     const std::function<bool()> never = [] { return false; };
     for (;;) {
         const std::uint64_t before = eq_.executed();
-        eq_.runFor(never, crashAt, watchdog.checkEveryEvents);
+        kernel_.runFor(never, crashAt, watchdog.checkEveryEvents);
         if (eq_.executed() == before || eq_.empty())
             break; // passed crashAt, or the machine went idle
         const std::string reason =

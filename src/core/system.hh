@@ -34,6 +34,7 @@
 #include "noc/mesh.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/shard_queue.hh"
 #include "sim/log.hh"
 #include "sim/stats.hh"
 #include "sim/store_log.hh"
@@ -95,6 +96,7 @@ class System
     const StoreLog &storeLog() const { return *log_; }
     const SystemConfig &config() const { return cfg_; }
     EventQueue &eventQueue() { return eq_; }
+    ShardedEventQueue &kernel() { return kernel_; }
 
     PersistEngine &engine() { return *engine_; }
     CoherenceProtocol &protocol() { return *proto_; }
@@ -108,7 +110,23 @@ class System
   private:
     SystemConfig cfg_;
     StatsRegistry stats_;
-    EventQueue eq_;
+    /**
+     * The event kernel.  Staged sharding (docs/pdes.md): the machine
+     * currently maps onto ONE shard — the protocols' transaction-
+     * atomic timing model couples tiles within a transaction — so the
+     * kernel degenerates to the sequential EventQueue regardless of
+     * cfg.threads, and fixed-seed stats are byte-identical at any
+     * thread count by construction.  The multi-shard/multi-thread
+     * machinery is exercised by the kernel unit tests and
+     * tsoper_bench --threads; the shard fence (armed here) keeps all
+     * cross-tile traffic on the message path so tiles can migrate to
+     * their own shards without re-auditing the components.
+     */
+    ShardedEventQueue kernel_;
+    /** Shard 0's queue: the components' scheduling interface. */
+    EventQueue &eq_;
+    /** Tile-ownership map for the shard fence (all tiles -> shard 0). */
+    ShardFenceMap fence_;
     /** Timestamps warn/panic lines with eq_'s cycle while we're live. */
     ScopedLogCycleSource logCycle_;
     Mesh mesh_;

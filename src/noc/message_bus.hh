@@ -1,0 +1,103 @@
+/**
+ * @file
+ * MessageBus: the explicit cross-tile message path.
+ *
+ * Stage 1 of the parallel-kernel refactor (ROADMAP item 2, docs/
+ * pdes.md): every interaction between mesh tiles — core requests to
+ * directory banks, grants and forwards back to cores, AGB ingress,
+ * writeback traffic — flows through this choke point instead of
+ * ad-hoc `mesh.route(...)` + `eq.schedule(...)` pairs scattered
+ * through the components.  The bus offers exactly two shapes:
+ *
+ *  - send():    a timestamped message event — route through the mesh
+ *               (accounting link contention) and run a continuation
+ *               on the destination tile at the arrival cycle;
+ *  - arrival(): a routed leg whose effect is folded into an enclosing
+ *               transaction's continuation (the protocols' timing
+ *               model commits state at directory dispatch and only
+ *               needs the legs' delivery cycles).  The route still
+ *               occupies links, so traffic accounting is unchanged.
+ *
+ * Because the mesh's hop latency bounds every leg from below,
+ * minLatency() is the conservative kernel's lookahead: no message
+ * can cross tiles in fewer cycles, so shards may safely execute a
+ * window of that width in parallel (sim/shard_queue.hh).
+ *
+ * Today each component constructs its bus over the shared Mesh and
+ * the (single-shard) event queue, so send() degenerates to the exact
+ * route+schedule sequence the components used to inline — fixed-seed
+ * stats stay byte-identical.  When tiles move to their own shards,
+ * this is the one seam where schedule() becomes
+ * ShardedEventQueue::post().
+ */
+
+#ifndef TSOPER_NOC_MESSAGE_BUS_HH
+#define TSOPER_NOC_MESSAGE_BUS_HH
+
+#include "noc/mesh.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace tsoper
+{
+
+class MessageBus
+{
+  public:
+    MessageBus(const SystemConfig &cfg, EventQueue &eq, Mesh &mesh);
+
+    /**
+     * Timestamped message: route @p bytes from tile @p src to tile
+     * @p dst departing at @p depart (>= now), and run @p fn at the
+     * delivery cycle.  @return the delivery cycle.
+     */
+    Cycle send(int src, int dst, unsigned bytes, Cycle depart,
+               EventQueue::Callback fn);
+
+    /** send() departing immediately. */
+    Cycle
+    send(int src, int dst, unsigned bytes, EventQueue::Callback fn)
+    {
+        return send(src, dst, bytes, eq_.now(), std::move(fn));
+    }
+
+    /**
+     * Routed leg without its own event: returns the delivery cycle of
+     * @p bytes from @p src to @p dst departing at @p depart, updating
+     * link contention.  For legs folded into a transaction
+     * continuation; the caller owns scheduling the effect no earlier
+     * than the returned cycle.
+     */
+    Cycle
+    arrival(int src, int dst, unsigned bytes, Cycle depart)
+    {
+        return mesh_.route(src, dst, bytes, depart);
+    }
+
+    /** Minimum latency of any cross-tile message: one NoC hop.  The
+     *  sharded kernel's lookahead. */
+    Cycle minLatency() const { return minLatency_; }
+
+    // --- Tile-name helpers (delegate to the mesh's node map) -------
+    int coreNode(CoreId core) const { return mesh_.coreNode(core); }
+    int bankNode(unsigned bank) const { return mesh_.bankNode(bank); }
+    int mcNode(unsigned mc) const { return mesh_.mcNode(mc); }
+    unsigned nodes() const { return mesh_.nodes(); }
+
+    Cycle
+    idealLatency(int src, int dst, unsigned bytes) const
+    {
+        return mesh_.idealLatency(src, dst, bytes);
+    }
+
+    Mesh &mesh() { return mesh_; }
+
+  private:
+    EventQueue &eq_;
+    Mesh &mesh_;
+    Cycle minLatency_;
+};
+
+} // namespace tsoper
+
+#endif // TSOPER_NOC_MESSAGE_BUS_HH

@@ -109,6 +109,11 @@ SystemConfig::validate() const
         tsoper_fatal(toString(engine), " requires the SLC protocol");
     if (engine == EngineKind::Bsp && protocol != ProtocolKind::Mesi)
         tsoper_fatal("BSP persists through the LLC on MESI");
+    if (threads == 0 || threads > 64)
+        tsoper_fatal("threads must be in [1, 64], got ", threads);
+    if (threads > 1 && hopLatency == 0)
+        tsoper_fatal("threads > 1 requires a positive hop latency "
+                     "(the sharded kernel's lookahead)");
 }
 
 void
@@ -143,7 +148,11 @@ SystemConfig::describe(std::ostream &os) const
        << "  Atomic group cap      " << agMaxLines << " cachelines\n"
        << "  Eviction buffer       " << evictBufferEntries << " entries\n"
        << "  Protocol / engine     " << toString(protocol) << " / "
-       << toString(engine) << "\n";
+       << toString(engine) << "\n"
+       << "  Event kernel          " << threads
+       << (threads == 1 ? " thread (sequential)"
+                        : " threads (sharded, conservative)")
+       << "\n";
 }
 
 SystemConfig

@@ -91,6 +91,17 @@ class EventQueue
 
     Cycle now() const { return now_; }
 
+    /**
+     * Cycle of the earliest pending event.  @return false when the
+     * queue is empty.  The sharded kernel (sim/shard_queue.hh) uses
+     * this to compute the global window horizon across shards.
+     */
+    bool
+    nextEventAt(Cycle *when) const
+    {
+        return peekNext(when);
+    }
+
     bool empty() const { return size_ == 0; }
 
     std::size_t pending() const { return size_; }

@@ -1,0 +1,20 @@
+#include "sim/shard_fence.hh"
+
+namespace tsoper
+{
+
+namespace detail
+{
+thread_local ShardFenceTls shardFenceTls;
+} // namespace detail
+
+void
+shardFenceViolation(unsigned node, unsigned owner, unsigned shard)
+{
+    tsoper_panic("shard fence: tile ", node, " (owned by shard ", owner,
+                 ") touched while executing shard ", shard,
+                 " — cross-tile state must travel as a timestamped "
+                 "message (ShardedEventQueue::post / MessageBus::send)");
+}
+
+} // namespace tsoper

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Shard fence: the assertion that keeps the parallel kernel honest.
+ *
+ * Under the sharded event kernel (sim/shard_queue.hh) every mesh tile
+ * — core, LLC/directory bank, memory-controller node — is owned by
+ * exactly one shard, and a shard's events may only touch state owned
+ * by tiles of that shard.  Cross-tile interactions must instead travel
+ * as timestamped messages (ShardedEventQueue::post, or the NoC
+ * message path in noc/message_bus.hh) whose delivery latency is at
+ * least the kernel's lookahead.
+ *
+ * The fence turns a violation of that discipline into an immediate
+ * panic instead of a silent determinism divergence: components call
+ * shardFenceCheck(node) on entry to their tile-owned state, and the
+ * check panics when the calling thread is executing some *other*
+ * shard's events.  Outside a fenced region (unit tests poking
+ * components directly, the coordinator between windows) the check is
+ * a single thread-local load-and-branch and always passes, so it is
+ * compiled into every build — like tsoper_assert, it survives NDEBUG.
+ */
+
+#ifndef TSOPER_SIM_SHARD_FENCE_HH
+#define TSOPER_SIM_SHARD_FENCE_HH
+
+#include <vector>
+
+#include "sim/log.hh"
+
+namespace tsoper
+{
+
+/** Tile-to-shard ownership: ownerOf[node] is the shard whose event
+ *  queue may touch that tile's state. */
+class ShardFenceMap
+{
+  public:
+    ShardFenceMap() = default;
+
+    /** All @p nodes tiles owned by @p shard (the staging default: one
+     *  ownership domain until the protocol state is decomposed). */
+    ShardFenceMap(unsigned nodes, unsigned shard)
+        : ownerOf_(nodes, shard)
+    {
+    }
+
+    void
+    setOwner(unsigned node, unsigned shard)
+    {
+        if (node >= ownerOf_.size())
+            ownerOf_.resize(node + 1, 0);
+        ownerOf_[node] = shard;
+    }
+
+    unsigned
+    owner(unsigned node) const
+    {
+        tsoper_assert(node < ownerOf_.size(),
+                      "shard fence: node ", node, " has no owner");
+        return ownerOf_[node];
+    }
+
+    unsigned nodes() const { return (unsigned)ownerOf_.size(); }
+
+  private:
+    std::vector<unsigned> ownerOf_;
+};
+
+namespace detail
+{
+/** Thread-local fence context; null map == fence disarmed. */
+struct ShardFenceTls
+{
+    const ShardFenceMap *map = nullptr;
+    unsigned shard = 0;
+};
+extern thread_local ShardFenceTls shardFenceTls;
+} // namespace detail
+
+/**
+ * RAII: while alive, the calling thread is executing events of
+ * @p shard and shardFenceCheck enforces @p map's ownership.  The
+ * sharded kernel installs one around each shard-execution burst;
+ * scopes nest (the innermost wins — used by tests).
+ */
+class ShardFenceScope
+{
+  public:
+    ShardFenceScope(const ShardFenceMap *map, unsigned shard)
+        : prev_(detail::shardFenceTls)
+    {
+        detail::shardFenceTls = {map, shard};
+    }
+
+    ~ShardFenceScope() { detail::shardFenceTls = prev_; }
+
+    ShardFenceScope(const ShardFenceScope &) = delete;
+    ShardFenceScope &operator=(const ShardFenceScope &) = delete;
+
+  private:
+    detail::ShardFenceTls prev_;
+};
+
+/** Current shard while fenced; ~0u when the fence is disarmed. */
+inline unsigned
+shardFenceCurrent()
+{
+    return detail::shardFenceTls.map ? detail::shardFenceTls.shard : ~0u;
+}
+
+void shardFenceViolation(unsigned node, unsigned owner, unsigned shard);
+
+/**
+ * Assert that the executing shard owns tile @p node.  Components call
+ * this on entry to tile-owned state (directory bank dispatch, AGB
+ * arbiter/slice events, core-local structures).
+ */
+inline void
+shardFenceCheck(unsigned node)
+{
+    const detail::ShardFenceTls &tls = detail::shardFenceTls;
+    if (!tls.map)
+        return;
+    const unsigned owner = tls.map->owner(node);
+    if (owner != tls.shard)
+        shardFenceViolation(node, owner, tls.shard);
+}
+
+} // namespace tsoper
+
+#endif // TSOPER_SIM_SHARD_FENCE_HH

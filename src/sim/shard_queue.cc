@@ -1,0 +1,312 @@
+#include "sim/shard_queue.hh"
+
+#include <algorithm>
+#include <exception>
+#include <limits>
+
+#include "sim/log.hh"
+
+namespace tsoper
+{
+
+namespace
+{
+
+/** Which ShardedEventQueue (and shard) this thread is executing for;
+ *  post() uses it to validate the source shard and to pick the
+ *  in-burst (outbox) vs setup (direct schedule) delivery path. */
+struct BurstCtx
+{
+    ShardedEventQueue *owner = nullptr;
+    unsigned shard = 0;
+};
+thread_local BurstCtx burstCtx;
+
+struct BurstScope
+{
+    BurstScope(ShardedEventQueue *owner, unsigned shard) : prev_(burstCtx)
+    {
+        burstCtx = {owner, shard};
+    }
+    ~BurstScope() { burstCtx = prev_; }
+    BurstCtx prev_;
+};
+
+} // namespace
+
+ShardedEventQueue::ShardedEventQueue(unsigned shards, unsigned threads,
+                                     Cycle lookahead)
+    : lookahead_(lookahead)
+{
+    tsoper_assert(shards >= 1, "sharded kernel needs at least one shard");
+    tsoper_assert(shards == 1 || lookahead > 0,
+                  "conservative sharding requires positive lookahead: "
+                  "with zero lookahead a cross-shard message could land "
+                  "in the cycle being executed");
+    queues_.reserve(shards);
+    for (unsigned s = 0; s < shards; ++s)
+        queues_.push_back(std::make_unique<EventQueue>());
+    outboxes_ = std::vector<Outbox>(shards);
+    threads_ = std::clamp(threads, 1u, shards);
+    for (unsigned w = 1; w < threads_; ++w)
+        pool_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ShardedEventQueue::~ShardedEventQueue()
+{
+    if (!pool_.empty()) {
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            stop_ = true;
+        }
+        cvStart_.notify_all();
+        for (std::thread &t : pool_)
+            t.join();
+    }
+}
+
+void
+ShardedEventQueue::post(unsigned src, unsigned dst, Cycle delay,
+                        Callback fn)
+{
+    tsoper_assert(src < shards() && dst < shards(),
+                  "post: shard out of range (src ", src, ", dst ", dst,
+                  ", shards ", shards(), ")");
+    if (src != dst) {
+        tsoper_assert(delay >= lookahead_,
+                      "cross-shard post from ", src, " to ", dst,
+                      " with delay ", delay, " < lookahead ", lookahead_,
+                      " — no physical interaction crosses tiles faster "
+                      "than one NoC hop");
+    }
+    const bool inBurst = burstCtx.owner == this;
+    if (inBurst) {
+        tsoper_assert(burstCtx.shard == src,
+                      "post claims source shard ", src,
+                      " while executing shard ", burstCtx.shard);
+        const Cycle when = queues_[src]->now() + delay;
+        if (src == dst) {
+            queues_[src]->schedule(when, std::move(fn));
+        } else {
+            outboxes_[src].msgs.push_back({dst, when, std::move(fn)});
+        }
+        return;
+    }
+    // Setup path (no window in flight): deliver directly, relative to
+    // the destination's clock.
+    queues_[dst]->scheduleIn(delay, std::move(fn));
+}
+
+bool
+ShardedEventQueue::horizon(Cycle *h) const
+{
+    bool any = false;
+    Cycle best = 0;
+    for (const auto &q : queues_) {
+        Cycle when;
+        if (!q->nextEventAt(&when))
+            continue;
+        if (!any || when < best)
+            best = when;
+        any = true;
+    }
+    if (any)
+        *h = best;
+    return any;
+}
+
+void
+ShardedEventQueue::executeShards(unsigned w, Cycle limit)
+{
+    for (unsigned s = w; s < shards(); s += threads_) {
+        EventQueue &q = *queues_[s];
+        if (q.empty())
+            continue;
+        ShardFenceScope fence(fenceMap_, s);
+        BurstScope burst(this, s);
+        q.run(limit);
+    }
+}
+
+void
+ShardedEventQueue::drainOutboxes()
+{
+    // Shard-index order, post order within a shard: the insertion
+    // sequence numbers on the destination queues — and hence all tie
+    // breaks — depend only on simulation state, never on which worker
+    // ran what when.
+    for (Outbox &ob : outboxes_) {
+        for (PostRec &rec : ob.msgs) {
+            queues_[rec.dst]->schedule(rec.when, std::move(rec.fn));
+            ++crossPosts_;
+        }
+        ob.msgs.clear();
+    }
+}
+
+void
+ShardedEventQueue::workerLoop(unsigned w)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        Cycle limit;
+        {
+            std::unique_lock<std::mutex> lk(m_);
+            cvStart_.wait(lk,
+                          [&] { return stop_ || generation_ != seen; });
+            if (stop_)
+                return;
+            seen = generation_;
+            limit = windowLimit_;
+        }
+        std::exception_ptr err;
+        try {
+            executeShards(w, limit);
+        } catch (...) {
+            err = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            if (err && !poolError_)
+                poolError_ = err;
+            if (--running_ == 0)
+                cvDone_.notify_one();
+        }
+    }
+}
+
+void
+ShardedEventQueue::executeWindow(Cycle limit)
+{
+    if (threads_ == 1) {
+        executeShards(0, limit);
+        drainOutboxes();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        windowLimit_ = limit;
+        running_ = threads_ - 1;
+        ++generation_;
+    }
+    cvStart_.notify_all();
+    std::exception_ptr err;
+    try {
+        executeShards(0, limit);
+    } catch (...) {
+        err = std::current_exception();
+    }
+    {
+        std::unique_lock<std::mutex> lk(m_);
+        cvDone_.wait(lk, [this] { return running_ == 0; });
+        if (!err && poolError_) {
+            err = poolError_;
+            poolError_ = nullptr;
+        }
+    }
+    if (err)
+        std::rethrow_exception(err);
+    drainOutboxes();
+}
+
+Cycle
+ShardedEventQueue::windowLoop(const std::function<bool()> &pred,
+                              Cycle maxCycleArg, std::uint64_t maxEvents)
+{
+    const std::uint64_t budget =
+        maxEvents > std::numeric_limits<std::uint64_t>::max() - executed()
+            ? std::numeric_limits<std::uint64_t>::max()
+            : executed() + maxEvents;
+    for (;;) {
+        if (pred && pred())
+            break;
+        if (executed() >= budget)
+            break;
+        Cycle h;
+        if (!horizon(&h))
+            break;
+        if (h > maxCycleArg)
+            break;
+        const Cycle limit =
+            std::min(maxCycleArg, h + (lookahead_ ? lookahead_ - 1 : 0));
+        executeWindow(limit);
+        ++windows_;
+    }
+    return now();
+}
+
+Cycle
+ShardedEventQueue::run(Cycle maxCycleArg)
+{
+    if (singleShard()) {
+        ShardFenceScope fence(fenceMap_, 0);
+        BurstScope burst(this, 0);
+        return queues_[0]->run(maxCycleArg);
+    }
+    return windowLoop(nullptr, maxCycleArg,
+                      std::numeric_limits<std::uint64_t>::max());
+}
+
+Cycle
+ShardedEventQueue::runUntil(const std::function<bool()> &pred,
+                            Cycle maxCycleArg)
+{
+    if (singleShard()) {
+        ShardFenceScope fence(fenceMap_, 0);
+        BurstScope burst(this, 0);
+        return queues_[0]->runUntil(pred, maxCycleArg);
+    }
+    return windowLoop(pred, maxCycleArg,
+                      std::numeric_limits<std::uint64_t>::max());
+}
+
+Cycle
+ShardedEventQueue::runFor(const std::function<bool()> &pred,
+                          Cycle maxCycleArg, std::uint64_t maxEvents)
+{
+    if (singleShard()) {
+        ShardFenceScope fence(fenceMap_, 0);
+        BurstScope burst(this, 0);
+        return queues_[0]->runFor(pred, maxCycleArg, maxEvents);
+    }
+    return windowLoop(pred, maxCycleArg, maxEvents);
+}
+
+Cycle
+ShardedEventQueue::now() const
+{
+    Cycle t = 0;
+    for (const auto &q : queues_)
+        t = std::max(t, q->now());
+    return t;
+}
+
+bool
+ShardedEventQueue::empty() const
+{
+    for (const auto &q : queues_) {
+        if (!q->empty())
+            return false;
+    }
+    return true;
+}
+
+std::size_t
+ShardedEventQueue::pending() const
+{
+    std::size_t n = 0;
+    for (const auto &q : queues_)
+        n += q->pending();
+    return n;
+}
+
+std::uint64_t
+ShardedEventQueue::executed() const
+{
+    std::uint64_t n = 0;
+    for (const auto &q : queues_)
+        n += q->executed();
+    return n;
+}
+
+} // namespace tsoper

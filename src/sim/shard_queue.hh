@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Sharded event kernel: conservative parallel discrete-event
+ * simulation over per-shard EventQueues.
+ *
+ * The simulated machine is partitioned into shards (one per mesh tile
+ * or tile group; see docs/pdes.md).  Each shard owns a private
+ * EventQueue and may touch only its own tiles' state; interactions
+ * between shards travel as timestamped messages via post(), whose
+ * delivery latency must be at least the kernel's *lookahead* — the
+ * minimum NoC hop latency, since no physical cross-tile interaction
+ * can land sooner than one hop.
+ *
+ * Synchronization is the simple conservative scheme (barrier-window
+ * advance, picked over null-messages per ROADMAP item 2):
+ *
+ *   1. horizon H = min over shards of the next pending event cycle;
+ *   2. every shard executes its events in the window [H, H+L)
+ *      (L = lookahead) in parallel — safe because a message sent
+ *      from inside the window arrives no earlier than H+L;
+ *   3. barrier: cross-shard messages accumulated in per-shard
+ *      outboxes are drained into their destination queues in shard
+ *      order, then the loop repeats.
+ *
+ * Determinism: within a window each shard executes its own (cycle,
+ * seq)-ordered queue sequentially, and the barrier drain assigns
+ * insertion sequence numbers in (source shard, post order) — both
+ * independent of the worker-thread count and of wall-clock timing, so
+ * fixed-seed runs are byte-identical at any --threads=N.  The
+ * pdes_determinism ctest and ShardQueueTest.DeterministicAcrossThreads
+ * enforce this.
+ *
+ * With one shard (or one thread) the kernel degenerates to the plain
+ * sequential EventQueue — same event order, same now()/executed()
+ * observables — so a single-shard machine behaves bit-for-bit like
+ * the pre-sharding simulator.
+ */
+
+#ifndef TSOPER_SIM_SHARD_QUEUE_HH
+#define TSOPER_SIM_SHARD_QUEUE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/shard_fence.hh"
+#include "sim/types.hh"
+
+namespace tsoper
+{
+
+class ShardedEventQueue
+{
+  public:
+    using Callback = EventQueue::Callback;
+
+    /**
+     * @param shards    number of event-queue shards (>= 1).
+     * @param threads   worker threads; clamped to [1, shards].  The
+     *                  calling thread acts as worker 0; threads-1
+     *                  pool threads are spawned.
+     * @param lookahead minimum cross-shard message latency in cycles.
+     *                  Must be > 0 when shards > 1 — zero lookahead
+     *                  would admit same-cycle cross-shard messages,
+     *                  which the window scheme cannot order.
+     */
+    ShardedEventQueue(unsigned shards, unsigned threads, Cycle lookahead);
+    ~ShardedEventQueue();
+
+    ShardedEventQueue(const ShardedEventQueue &) = delete;
+    ShardedEventQueue &operator=(const ShardedEventQueue &) = delete;
+
+    EventQueue &shard(unsigned s) { return *queues_[s]; }
+    const EventQueue &shard(unsigned s) const { return *queues_[s]; }
+
+    unsigned shards() const { return (unsigned)queues_.size(); }
+
+    /** Effective worker count (after clamping to the shard count). */
+    unsigned threads() const { return threads_; }
+
+    Cycle lookahead() const { return lookahead_; }
+
+    /**
+     * Install the tile-ownership map enforced (via ShardFenceScope /
+     * shardFenceCheck) while shard events execute; nullptr disarms.
+     * The map must outlive the runs it guards.
+     */
+    void setFenceMap(const ShardFenceMap *map) { fenceMap_ = map; }
+
+    /**
+     * Cross-shard message: run @p fn on shard @p dst at cycle
+     * shard(src).now() + delay.  From inside shard execution, @p src
+     * must be the executing shard and, when src != dst, @p delay must
+     * be >= lookahead(); the message is buffered in the source
+     * shard's outbox and delivered at the next window barrier.
+     * Outside a run (setup), the event is scheduled directly.
+     */
+    void post(unsigned src, unsigned dst, Cycle delay, Callback fn);
+
+    /** Run until all shards drain or the horizon passes @p maxCycle. */
+    Cycle run(Cycle maxCycle = maxCycle_);
+
+    /**
+     * Run until @p pred holds, the queues drain, or @p maxCycle
+     * passes.  With multiple shards, @p pred is evaluated at window
+     * barriers only (it may inspect cross-shard state, which is
+     * inconsistent mid-window).
+     */
+    Cycle runUntil(const std::function<bool()> &pred,
+                   Cycle maxCycle = maxCycle_);
+
+    /**
+     * Like runUntil, but additionally stops once at least
+     * @p maxEvents events have executed — checked at window barriers
+     * with multiple shards, so a burst may overshoot by up to one
+     * window's worth of events.
+     */
+    Cycle runFor(const std::function<bool()> &pred, Cycle maxCycle,
+                 std::uint64_t maxEvents);
+
+    /** Furthest simulated time any shard has reached (monotonic). */
+    Cycle now() const;
+
+    bool empty() const;
+    std::size_t pending() const;
+    std::uint64_t executed() const;
+
+    /** Synchronization windows executed (multi-shard mode). */
+    std::uint64_t windows() const { return windows_; }
+
+    /** Cross-shard messages delivered through outboxes. */
+    std::uint64_t crossPosts() const { return crossPosts_; }
+
+  private:
+    static constexpr Cycle maxCycle_ = maxCycle;
+
+    struct PostRec
+    {
+        unsigned dst;
+        Cycle when;
+        Callback fn;
+    };
+
+    /** Per-source-shard message buffer, cacheline-padded: during a
+     *  window each is appended to only by the worker executing that
+     *  shard. */
+    struct alignas(64) Outbox
+    {
+        std::vector<PostRec> msgs;
+    };
+
+    bool singleShard() const { return queues_.size() == 1; }
+
+    /** Earliest pending event cycle across shards; false if none. */
+    bool horizon(Cycle *h) const;
+
+    /** Execute one window: all shards run events <= @p limit in
+     *  parallel, then outboxes drain in shard order. */
+    void executeWindow(Cycle limit);
+
+    /** Worker @p w's share of the window ending at windowLimit_. */
+    void executeShards(unsigned w, Cycle limit);
+
+    void drainOutboxes();
+
+    void workerLoop(unsigned w);
+
+    /** The multi-shard window loop shared by run/runUntil/runFor. */
+    Cycle windowLoop(const std::function<bool()> &pred, Cycle maxCycle,
+                     std::uint64_t maxEvents);
+
+    std::vector<std::unique_ptr<EventQueue>> queues_;
+    std::vector<Outbox> outboxes_;
+    const Cycle lookahead_;
+    unsigned threads_ = 1;
+    const ShardFenceMap *fenceMap_ = nullptr;
+
+    std::uint64_t windows_ = 0;
+    std::uint64_t crossPosts_ = 0;
+
+    // --- Worker pool (threads_ > 1 only) ---------------------------
+    std::vector<std::thread> pool_;
+    std::mutex m_;
+    std::condition_variable cvStart_;
+    std::condition_variable cvDone_;
+    std::uint64_t generation_ = 0; ///< Bumped to launch a window.
+    unsigned running_ = 0;         ///< Pool workers still in-window.
+    Cycle windowLimit_ = 0;
+    bool stop_ = false;
+    /** First exception thrown by a pool worker's events; rethrown on
+     *  the coordinator after the window barrier. */
+    std::exception_ptr poolError_;
+};
+
+} // namespace tsoper
+
+#endif // TSOPER_SIM_SHARD_QUEUE_HH

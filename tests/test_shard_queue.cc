@@ -1,0 +1,404 @@
+/**
+ * @file
+ * Unit tests for the sharded event kernel (sim/shard_queue.hh): the
+ * conservative window advance, cross-shard message delivery, the
+ * determinism guarantee across worker-thread counts, and the shard
+ * fence.  These run multi-threaded and carry the tsan_smoke label so
+ * the ThreadSanitizer preset exercises the pool synchronization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/shard_fence.hh"
+#include "sim/shard_queue.hh"
+
+using namespace tsoper;
+
+namespace
+{
+
+/** splitmix64; keeps the workloads deterministic without a shared RNG. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Per-shard execution log.  Each shard's events run on exactly one
+ *  worker per window, so appending to the owning shard's vector never
+ *  races; the logs are only compared after run() returns. */
+struct ShardLog
+{
+    std::vector<std::uint64_t> entries;
+};
+
+/** Self-rescheduling actor that hops between shards (the migration
+ *  path carries delay >= lookahead) and records every firing as
+ *  (cycle, actor, step) in the shard it fired on. */
+struct HopActor
+{
+    ShardedEventQueue *eq;
+    std::vector<ShardLog> *logs;
+    std::uint64_t *remaining;   // Owning shard's quota.
+    std::vector<std::uint64_t> *quotas;
+    unsigned shard;
+    unsigned id;
+    std::uint64_t state;
+    std::uint64_t step;
+
+    void
+    operator()()
+    {
+        if (*remaining == 0)
+            return;
+        --*remaining;
+        const Cycle at = eq->shard(shard).now();
+        (*logs)[shard].entries.push_back((at << 24) |
+                                         (std::uint64_t(id) << 12) | step);
+        state = mix(state);
+        ++step;
+        HopActor next{*this};
+        const unsigned kind = state % 100;
+        if (kind < 30) {
+            eq->post(shard, shard, 0, std::move(next)); // wakeup
+        } else if (kind < 60) {
+            eq->post(shard, shard, 1 + (state >> 8) % 8,
+                     std::move(next)); // local hop
+        } else {
+            // Migrate to a pseudo-random peer; rebind the quota so the
+            // destination worker only ever touches its own counter.
+            const unsigned dst = static_cast<unsigned>(
+                (shard + 1 + (state >> 16) % (eq->shards() - 1)) %
+                eq->shards());
+            next.shard = dst;
+            next.remaining = &(*quotas)[dst];
+            eq->post(shard, dst, eq->lookahead() + (state >> 8) % 40,
+                     std::move(next));
+        }
+    }
+};
+
+/** Run the hop workload on @p shards/@p threads; return per-shard logs. */
+std::vector<ShardLog>
+runHopWorkload(unsigned shards, unsigned threads, std::uint64_t perShard,
+               std::uint64_t *executed = nullptr,
+               std::uint64_t *crossPosts = nullptr)
+{
+    ShardedEventQueue eq(shards, threads, /*lookahead=*/3);
+    std::vector<ShardLog> logs(shards);
+    std::vector<std::uint64_t> quotas(shards, perShard);
+    for (unsigned s = 0; s < shards; ++s) {
+        for (unsigned a = 0; a < 3; ++a) {
+            eq.post(s, s, (s * 3 + a) % 5,
+                    HopActor{&eq, &logs, &quotas[s], &quotas, s,
+                             s * 3 + a, mix(s * 31 + a + 7), 0});
+        }
+    }
+    eq.run();
+    if (executed)
+        *executed = eq.executed();
+    if (crossPosts)
+        *crossPosts = eq.crossPosts();
+    return logs;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Construction and argument validation
+// ---------------------------------------------------------------------
+
+TEST(ShardQueue, RejectsZeroLookaheadWithMultipleShards)
+{
+    EXPECT_THROW(ShardedEventQueue(4, 2, 0), std::logic_error);
+}
+
+TEST(ShardQueue, SingleShardAllowsZeroLookahead)
+{
+    ShardedEventQueue eq(1, 1, 0);
+    int fired = 0;
+    eq.post(0, 0, 5, [&] { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(ShardQueue, ClampsThreadsToShardCount)
+{
+    ShardedEventQueue eq(2, 16, 3);
+    EXPECT_EQ(eq.threads(), 2u);
+    ShardedEventQueue one(1, 8, 3);
+    EXPECT_EQ(one.threads(), 1u);
+}
+
+TEST(ShardQueue, RejectsCrossShardPostBelowLookahead)
+{
+    ShardedEventQueue eq(2, 1, 3);
+    // The setup path validates too: a 1-cycle cross-shard message
+    // would outrun the NoC.
+    EXPECT_THROW(eq.post(0, 1, 1, [] {}), std::logic_error);
+    // And from inside a burst.
+    eq.post(0, 0, 0, [&] { eq.post(0, 1, 2, [] {}); });
+    EXPECT_THROW(eq.run(), std::logic_error);
+}
+
+TEST(ShardQueue, RejectsPostFromWrongSourceShard)
+{
+    ShardedEventQueue eq(2, 1, 3);
+    eq.post(0, 0, 0, [&] { eq.post(1, 0, 0, [] {}); });
+    EXPECT_THROW(eq.run(), std::logic_error);
+}
+
+// ---------------------------------------------------------------------
+// Single-shard equivalence with the plain kernel
+// ---------------------------------------------------------------------
+
+TEST(ShardQueue, SingleShardMatchesPlainEventQueue)
+{
+    // The same deterministic chain on both kernels must execute the
+    // same number of events and end at the same cycle.
+    auto drive = [](auto &eq, auto post) {
+        std::uint64_t remaining = 5000;
+        struct Chain
+        {
+            std::function<void(Cycle, std::function<void()>)> sched;
+            std::uint64_t *remaining;
+            std::uint64_t state;
+            void
+            operator()()
+            {
+                if (*remaining == 0)
+                    return;
+                --*remaining;
+                state = mix(state);
+                sched(state & 31, Chain{*this});
+            }
+        };
+        for (unsigned c = 0; c < 4; ++c)
+            post(c, Chain{post, &remaining, mix(c + 1)});
+        eq.run();
+    };
+
+    EventQueue plain;
+    drive(plain, std::function<void(Cycle, std::function<void()>)>(
+                     [&](Cycle d, std::function<void()> fn) {
+                         plain.scheduleIn(d, std::move(fn));
+                     }));
+
+    ShardedEventQueue sharded(1, 1, 3);
+    drive(sharded, std::function<void(Cycle, std::function<void()>)>(
+                       [&](Cycle d, std::function<void()> fn) {
+                           sharded.post(0, 0, d, std::move(fn));
+                       }));
+
+    EXPECT_EQ(sharded.executed(), plain.executed());
+    EXPECT_EQ(sharded.now(), plain.now());
+    EXPECT_EQ(sharded.windows(), 0u) << "single shard must bypass the "
+                                        "window loop";
+}
+
+// ---------------------------------------------------------------------
+// Window advance
+// ---------------------------------------------------------------------
+
+TEST(ShardQueue, CrossShardMessageArrivesAtPostedCycle)
+{
+    ShardedEventQueue eq(2, 1, 3);
+    Cycle arrivedAt = 0;
+    eq.post(0, 0, 10, [&] {
+        // Now 10 on shard 0; the message lands at 10 + 5 on shard 1.
+        eq.post(0, 1, 5, [&] { arrivedAt = eq.shard(1).now(); });
+    });
+    eq.run();
+    EXPECT_EQ(arrivedAt, 15u);
+    EXPECT_EQ(eq.crossPosts(), 1u);
+    EXPECT_GE(eq.windows(), 1u);
+}
+
+TEST(ShardQueue, EmptyShardsDoNotStallTheWindow)
+{
+    // Only shard 0 of 4 has work: the horizon must come from the one
+    // non-empty shard and the run must drain normally.
+    ShardedEventQueue eq(4, 2, 3);
+    unsigned fired = 0;
+    for (Cycle d : {0u, 7u, 23u, 111u})
+        eq.post(0, 0, d, [&] { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 4u);
+    EXPECT_EQ(eq.now(), 111u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(ShardQueue, StragglerShardAdvancesInOneWindow)
+{
+    // Shard 1's only event sits far in the future; the dense shard 0
+    // must not force thousands of empty windows on it, and the
+    // straggler must still fire exactly once at its own cycle.
+    ShardedEventQueue eq(2, 2, 3);
+    Cycle stragglerAt = 0;
+    eq.post(1, 1, 100000, [&] { stragglerAt = eq.shard(1).now(); });
+    std::uint64_t remaining = 200;
+    struct Dense
+    {
+        ShardedEventQueue *eq;
+        std::uint64_t *remaining;
+        void
+        operator()()
+        {
+            if ((*remaining)-- == 0)
+                return;
+            eq->post(0, 0, 2, Dense{*this});
+        }
+    };
+    eq.post(0, 0, 0, Dense{&eq, &remaining});
+    eq.run();
+    EXPECT_EQ(stragglerAt, 100000u);
+    EXPECT_EQ(eq.now(), 100000u);
+}
+
+TEST(ShardQueue, RunHonorsMaxCycle)
+{
+    ShardedEventQueue eq(2, 1, 3);
+    unsigned fired = 0;
+    eq.post(0, 0, 10, [&] { ++fired; });
+    eq.post(1, 1, 500, [&] { ++fired; });
+    eq.run(100);
+    EXPECT_EQ(fired, 1u);
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_EQ(fired, 2u);
+}
+
+TEST(ShardQueue, RunForStopsAtWindowBarrier)
+{
+    ShardedEventQueue eq(2, 1, 3);
+    std::uint64_t remaining = 1000;
+    struct Chain
+    {
+        ShardedEventQueue *eq;
+        std::uint64_t *remaining;
+        unsigned shard;
+        void
+        operator()()
+        {
+            if ((*remaining)-- == 0)
+                return;
+            eq->post(shard, shard, 1, Chain{*this});
+        }
+    };
+    eq.post(0, 0, 0, Chain{&eq, &remaining, 0});
+    eq.post(1, 1, 0, Chain{&eq, &remaining, 1});
+    eq.runFor(nullptr, maxCycle, 50);
+    // The budget is checked at barriers, so a window may overshoot —
+    // but only by a bounded amount, and the run must stop early.
+    EXPECT_GE(eq.executed(), 50u);
+    EXPECT_LT(eq.executed(), 200u);
+    EXPECT_FALSE(eq.empty());
+}
+
+// ---------------------------------------------------------------------
+// Determinism across thread counts
+// ---------------------------------------------------------------------
+
+TEST(ShardQueue, DeterministicAcrossThreads)
+{
+    // The same seeded workload must produce identical per-shard
+    // execution logs (cycle, actor, step — in order) no matter how
+    // many workers execute the windows.  This is the unit-level
+    // statement of the pdes_determinism oracle.
+    std::uint64_t exec1 = 0, cross1 = 0;
+    const auto base = runHopWorkload(4, 1, 2000, &exec1, &cross1);
+    for (unsigned threads : {2u, 4u}) {
+        std::uint64_t execN = 0, crossN = 0;
+        const auto logs = runHopWorkload(4, threads, 2000, &execN, &crossN);
+        EXPECT_EQ(execN, exec1) << "threads=" << threads;
+        EXPECT_EQ(crossN, cross1) << "threads=" << threads;
+        ASSERT_EQ(logs.size(), base.size());
+        for (unsigned s = 0; s < logs.size(); ++s)
+            EXPECT_EQ(logs[s].entries, base[s].entries)
+                << "shard " << s << " diverged at threads=" << threads;
+    }
+    EXPECT_GT(cross1, 0u) << "workload must actually cross shards";
+}
+
+// ---------------------------------------------------------------------
+// Worker-pool error propagation
+// ---------------------------------------------------------------------
+
+TEST(ShardQueue, PoolWorkerExceptionReachesCaller)
+{
+    // An event panicking on a pool thread must surface as the same
+    // exception on the caller, not std::terminate.
+    ShardedEventQueue eq(4, 4, 3);
+    for (unsigned s = 0; s < 4; ++s)
+        eq.post(s, s, 1, [s] {
+            if (s == 3)
+                throw std::runtime_error("boom");
+        });
+    EXPECT_THROW(eq.run(), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// Shard fence
+// ---------------------------------------------------------------------
+
+TEST(ShardQueue, FenceAllowsOwnedTiles)
+{
+    ShardFenceMap map(4, 0);
+    map.setOwner(2, 1);
+    map.setOwner(3, 1);
+    ShardedEventQueue eq(2, 1, 3);
+    eq.setFenceMap(&map);
+    bool ok = false;
+    eq.post(1, 1, 0, [&] {
+        shardFenceCheck(2); // Owned by the executing shard: fine.
+        ok = true;
+    });
+    eq.run();
+    EXPECT_TRUE(ok);
+}
+
+TEST(ShardQueue, FencePanicsOnForeignTile)
+{
+    ShardFenceMap map(4, 0);
+    map.setOwner(3, 1);
+    ShardedEventQueue eq(2, 1, 3);
+    eq.setFenceMap(&map);
+    eq.post(0, 0, 0, [] {
+        shardFenceCheck(3); // Tile 3 belongs to shard 1 — must panic.
+    });
+    EXPECT_THROW(eq.run(), std::logic_error);
+}
+
+TEST(ShardQueue, FenceDisarmedOutsideBursts)
+{
+    // Unit tests poke components directly with no fence installed;
+    // the check must be a no-op there.
+    EXPECT_EQ(shardFenceCurrent(), ~0u);
+    shardFenceCheck(0);
+    shardFenceCheck(99);
+}
+
+TEST(ShardQueue, FenceScopesNest)
+{
+    ShardFenceMap map(2, 0);
+    map.setOwner(1, 1);
+    ShardFenceScope outer(&map, 0);
+    EXPECT_EQ(shardFenceCurrent(), 0u);
+    {
+        ShardFenceScope inner(&map, 1);
+        EXPECT_EQ(shardFenceCurrent(), 1u);
+        shardFenceCheck(1);
+    }
+    EXPECT_EQ(shardFenceCurrent(), 0u);
+    shardFenceCheck(0);
+    EXPECT_THROW(shardFenceCheck(1), std::logic_error);
+}

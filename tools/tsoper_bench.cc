@@ -12,17 +12,27 @@
  *   --out=<file>     output path            (default BENCH_kernel.json)
  *   --quick          ~20x fewer events; for CI smoke, not for numbers
  *   --repeat=<n>     repetitions per pattern, best kept (default 3)
+ *   --threads=<csv>  thread counts for the pdes sweep (default 1,2,4,8)
  *   --verify-out     re-read the emitted JSON and validate the schema
  *
- * Schema ("schema": "tsoper.bench.kernel/v1"):
+ * Schema ("schema": "tsoper.bench.kernel/v2"):
  *   {
  *     "schema": "...", "quick": bool,
  *     "micro": {"<pattern>": {"events": u, "wall_seconds": f,
  *                             "events_per_sec": f}, ...},
+ *     "pdes": {"shards": u, "lookahead": u, "host_cpus": u,
+ *              "sweep": [{"threads": u, "events": u,
+ *                         "wall_seconds": f, "events_per_sec": f,
+ *                         "speedup": f}, ...]},
  *     "fig11": {"engine": "tsoper", "bench": "ocean_cp", "seed": u,
  *               "scale": f, "cycles": u, "events": u,
  *               "wall_seconds": f, "events_per_sec": f}
  *   }
+ * The pdes sweep runs the mixed-latency blend over the sharded kernel
+ * (sim/shard_queue.hh) at each thread count; "speedup" is relative to
+ * the sweep's threads=1 entry.  host_cpus records how many CPUs the
+ * measuring host actually had — speedups are only meaningful up to
+ * that bound (docs/pdes.md).
  * docs/perf.md documents how to read and track these numbers.
  */
 
@@ -32,6 +42,8 @@
 #include <functional>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/system.hh"
 #include "kernel_patterns.hh"
@@ -79,7 +91,7 @@ verifyDocument(const Json &doc, std::string *err)
 {
     const Json *schema = doc.find("schema");
     if (!schema || !schema->isString() ||
-        schema->asString() != "tsoper.bench.kernel/v1") {
+        schema->asString() != "tsoper.bench.kernel/v2") {
         *err = "missing or wrong schema tag";
         return false;
     }
@@ -94,6 +106,35 @@ verifyDocument(const Json &doc, std::string *err)
             const Json *v = entry.find(field);
             if (!v || !v->isNumber() || v->asDouble() <= 0.0) {
                 *err = "micro." + name + "." + field +
+                       " missing or non-positive";
+                return false;
+            }
+        }
+    }
+    const Json *pdes = doc.find("pdes");
+    if (!pdes || !pdes->isObject()) {
+        *err = "missing pdes block";
+        return false;
+    }
+    for (const char *field : {"shards", "lookahead", "host_cpus"}) {
+        const Json *v = pdes->find(field);
+        if (!v || !v->isNumber()) {
+            *err = std::string("pdes.") + field + " missing";
+            return false;
+        }
+    }
+    const Json *sweep = pdes->find("sweep");
+    if (!sweep || !sweep->isArray() || sweep->size() == 0) {
+        *err = "pdes.sweep must be a non-empty array";
+        return false;
+    }
+    for (std::size_t i = 0; i < sweep->size(); ++i) {
+        const Json &entry = sweep->at(i);
+        for (const char *field : {"threads", "events", "wall_seconds",
+                                  "events_per_sec", "speedup"}) {
+            const Json *v = entry.find(field);
+            if (!v || !v->isNumber() || v->asDouble() <= 0.0) {
+                *err = "pdes.sweep[" + std::to_string(i) + "]." + field +
                        " missing or non-positive";
                 return false;
             }
@@ -124,6 +165,7 @@ main(int argc, char **argv)
     bool quick = false;
     bool verifyOut = false;
     unsigned repeat = 3;
+    std::vector<unsigned> threadList = {1, 2, 4, 8};
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--out=", 0) == 0) {
@@ -134,9 +176,21 @@ main(int argc, char **argv)
             verifyOut = true;
         } else if (arg.rfind("--repeat=", 0) == 0) {
             repeat = static_cast<unsigned>(std::stoul(arg.substr(9)));
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            threadList.clear();
+            std::stringstream ts(arg.substr(10));
+            std::string tok;
+            while (std::getline(ts, tok, ','))
+                if (!tok.empty())
+                    threadList.push_back(
+                        static_cast<unsigned>(std::stoul(tok)));
+            if (threadList.empty()) {
+                std::fprintf(stderr, "--threads needs a CSV list\n");
+                return 2;
+            }
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: tsoper_bench [--out=F] [--quick] "
-                        "[--repeat=N] [--verify-out]\n");
+                        "[--repeat=N] [--threads=CSV] [--verify-out]\n");
             return 0;
         } else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
@@ -150,7 +204,7 @@ main(int argc, char **argv)
         repeat = 1;
 
     Json doc = Json::object();
-    doc.set("schema", "tsoper.bench.kernel/v1");
+    doc.set("schema", "tsoper.bench.kernel/v2");
     doc.set("quick", quick);
 
     Json micro = Json::object();
@@ -178,6 +232,44 @@ main(int argc, char **argv)
         micro.set(p.name, std::move(entry));
     }
     doc.set("micro", std::move(micro));
+
+    // The pdes sweep: the mixed-latency blend sharded across one
+    // EventQueue per mesh tile, at each requested worker count.
+    {
+        const unsigned shards = 16;  // 4x4 mesh: one shard per tile.
+        const Cycle lookahead = 3;   // SystemConfig default hopLatency.
+        Json pdes = Json::object();
+        pdes.set("shards", shards);
+        pdes.set("lookahead", static_cast<std::uint64_t>(lookahead));
+        pdes.set("host_cpus",
+                 static_cast<std::uint64_t>(
+                     std::thread::hardware_concurrency()));
+        Json sweep = Json::array();
+        double baseline = 0.0;
+        for (const unsigned t : threadList) {
+            Json entry = timeBest(repeat, [&] {
+                return bench::patternMixedLatencySharded(
+                    microEvents, shards, t, lookahead);
+            });
+            const double secs = entry["wall_seconds"].asDouble();
+            if (sweep.size() == 0)
+                baseline = secs;
+            const double speedup =
+                secs > 0.0 && baseline > 0.0 ? baseline / secs : 1.0;
+            entry.set("threads", t);
+            entry.set("speedup", speedup);
+            std::printf("%-18s %12.0f events/s (%.3fs, %llu events, "
+                        "%.2fx)\n",
+                        ("pdes_threads_" + std::to_string(t)).c_str(),
+                        entry["events_per_sec"].asDouble(), secs,
+                        static_cast<unsigned long long>(
+                            entry["events"].asUint()),
+                        speedup);
+            sweep.push(std::move(entry));
+        }
+        pdes.set("sweep", std::move(sweep));
+        doc.set("pdes", std::move(pdes));
+    }
 
     // One fixed-seed fig11 cell: the tsoper engine on ocean_cp.  The
     // workload is generated outside the timed region; the timer covers

@@ -23,6 +23,8 @@
  *   --scale=<f>            workload scale       (default 1.0)
  *   --seed=<n>             workload seed        (default 1)
  *   --cores=<n>            core count           (default 8)
+ *   --threads=<n>          event-kernel threads (default 1; results
+ *                          are byte-identical at any value)
  *   --ag-max-lines=<n>     atomic group cap
  *   --agb-slice-lines=<n>  AGB slice capacity
  *   --crash-at=<c|f>       crash at cycle c (>1) or fraction f of the
@@ -245,6 +247,9 @@ parseCli(int argc, char **argv)
             else if (arg.rfind("--cores=", 0) == 0)
                 opt.run.cores = static_cast<unsigned>(
                     std::stoul(val("--cores=")));
+            else if (arg.rfind("--threads=", 0) == 0)
+                opt.run.threads = static_cast<unsigned>(
+                    std::stoul(val("--threads=")));
             else if (arg.rfind("--ag-max-lines=", 0) == 0)
                 opt.run.agMaxLines = static_cast<unsigned>(
                     std::stoul(val("--ag-max-lines=")));
