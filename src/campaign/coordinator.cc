@@ -1,0 +1,692 @@
+#include "campaign/coordinator.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include <poll.h>
+
+#include "campaign/wire.hh"
+#include "net/peer.hh"
+#include "net/socket.hh"
+
+namespace tsoper::campaign
+{
+
+using net::monotonicMs;
+
+std::string
+CoordinatorStats::summary() const
+{
+    std::ostringstream os;
+    os << "distributed: " << workersSeen << " worker"
+       << (workersSeen == 1 ? "" : "s") << " (peak " << peakWorkers
+       << "), " << deadWorkers << " dead, " << leasesGranted
+       << " leases (" << leasesReassigned << " reassigned, "
+       << stragglerLeases << " straggler), " << duplicateResults
+       << " duplicate results discarded";
+    if (droppedPeers)
+        os << ", " << droppedPeers << " peers dropped for protocol "
+           << "violations";
+    if (faultsApplied)
+        os << "; net-fault applied " << faultsApplied << " times";
+    if (usedLocalFallback)
+        os << "; degraded to local runner";
+    return os.str();
+}
+
+struct Coordinator::Impl
+{
+    struct Lease
+    {
+        std::uint64_t id = 0;
+        std::size_t cell = 0;
+        int peerFd = -1;
+        std::int64_t grantedAt = 0;
+    };
+
+    struct PeerState
+    {
+        net::Peer peer;
+        bool registered = false;
+        bool closeAfterFlush = false;
+        std::string name;
+        unsigned slots = 1;
+        std::int64_t lastSeen = 0;
+        std::set<std::uint64_t> leases; ///< Live leases held here.
+    };
+
+    struct CellState
+    {
+        bool done = false;
+        bool queued = false;     ///< Currently in the pending deque.
+        unsigned outstanding = 0; ///< Live leases for this cell.
+    };
+
+    CoordinatorOptions opt;
+    CoordinatorStats stats;
+    net::Fd listenFd;
+    std::uint16_t boundPort = 0;
+
+    // Per-run state (run() is single-shot).
+    const std::vector<RunRequest> *cells = nullptr;
+    CampaignReport *report = nullptr;
+    std::vector<CellState> cellState;
+    std::unordered_map<std::string, std::size_t> idToIndex;
+    std::deque<std::size_t> pending;
+    std::map<int, PeerState> peers;
+    std::map<std::uint64_t, Lease> leases;
+    std::uint64_t nextLeaseId = 1;
+    std::uint64_t connSeq = 0; ///< Accepted-connection counter.
+    std::size_t doneCount = 0;
+    std::size_t wireResults = 0;
+    std::int64_t noWorkerSince = 0;
+    unsigned leaseTimeoutMs = 0;
+
+    explicit Impl(CoordinatorOptions o) : opt(std::move(o)) {}
+
+    unsigned
+    registeredCount() const
+    {
+        unsigned n = 0;
+        for (const auto &[fd, ps] : peers)
+            if (ps.registered && !ps.closeAfterFlush)
+                ++n;
+        return n;
+    }
+
+    void
+    journalAux(Json record)
+    {
+        if (opt.runner.journal)
+            opt.runner.journal->appendAux(record);
+    }
+
+    void
+    progressLine(const CellReport &cell, const std::string &via)
+    {
+        if (!opt.runner.progress)
+            return;
+        char head[64];
+        std::snprintf(head, sizeof(head), "[%3zu/%zu] %-12s", doneCount,
+                      cells->size(),
+                      cell.fromJournal ? "resumed"
+                                       : toString(cell.result.status));
+        *opt.runner.progress << head << " " << cell.request.id << "  ("
+                             << via << ")\n"
+                             << std::flush;
+    }
+
+    /** Merge @p cell as the final result of cell @p idx. */
+    void
+    markDone(std::size_t idx, CellReport cell, bool fromWire,
+             const std::string &via)
+    {
+        CellState &cs = cellState[idx];
+        cs.done = true;
+        ++doneCount;
+        if (fromWire && opt.runner.journal)
+            opt.runner.journal->append(cell);
+        report->cells[idx] = std::move(cell);
+        progressLine(report->cells[idx], via);
+        if (fromWire) {
+            ++wireResults;
+            if (opt.onResult)
+                opt.onResult(wireResults);
+        }
+    }
+
+    /** Retire lease @p id; optionally re-queue its cell. */
+    void
+    releaseLease(std::uint64_t id, bool requeue, bool front)
+    {
+        const auto it = leases.find(id);
+        if (it == leases.end())
+            return;
+        const Lease lease = it->second;
+        leases.erase(it);
+        if (const auto pit = peers.find(lease.peerFd);
+            pit != peers.end())
+            pit->second.leases.erase(id);
+        CellState &cs = cellState[lease.cell];
+        if (cs.outstanding)
+            --cs.outstanding;
+        if (requeue && !cs.done && !cs.queued) {
+            if (front)
+                pending.push_front(lease.cell);
+            else
+                pending.push_back(lease.cell);
+            cs.queued = true;
+        }
+    }
+
+    /** Drop a peer, re-queueing every lease it held.  Dead-worker
+     *  cells go to the *front* of the queue so failover is prompt. */
+    void
+    dropPeer(int fd, const std::string &why, bool dead, bool violation)
+    {
+        const auto it = peers.find(fd);
+        if (it == peers.end())
+            return;
+        PeerState &ps = it->second;
+        stats.faultsApplied += ps.peer.faultsApplied();
+        const std::size_t held = ps.leases.size();
+        while (!ps.leases.empty()) {
+            releaseLease(*ps.leases.begin(), /*requeue=*/true,
+                         /*front=*/true);
+            ++stats.leasesReassigned;
+        }
+        if (ps.registered && dead)
+            ++stats.deadWorkers;
+        if (violation)
+            ++stats.droppedPeers;
+        if (ps.registered) {
+            journalAux(Json::object()
+                           .set("event", Json("worker_gone"))
+                           .set("worker", Json(ps.name))
+                           .set("reason", Json(why)));
+            if (opt.runner.progress)
+                *opt.runner.progress
+                    << "worker " << ps.name << " gone (" << why << "); "
+                    << held << " lease" << (held == 1 ? "" : "s")
+                    << " re-queued\n"
+                    << std::flush;
+        }
+        peers.erase(it);
+        if (registeredCount() == 0)
+            noWorkerSince = monotonicMs();
+    }
+
+    bool
+    peerHoldsCell(const PeerState &ps, std::size_t idx) const
+    {
+        for (std::uint64_t id : ps.leases) {
+            const auto it = leases.find(id);
+            if (it != leases.end() && it->second.cell == idx)
+                return true;
+        }
+        return false;
+    }
+
+    void
+    grant(int fd, PeerState &ps, std::size_t idx, std::int64_t now)
+    {
+        const std::uint64_t id = nextLeaseId++;
+        leases[id] = Lease{id, idx, fd, now};
+        ps.leases.insert(id);
+        ++cellState[idx].outstanding;
+        ++stats.leasesGranted;
+        const unsigned timeoutMs = static_cast<unsigned>(
+            std::max<std::int64_t>(0, opt.runner.timeout.count()));
+        ps.peer.sendFrame(wire::lease(id, timeoutMs, opt.runner.retries,
+                                      (*cells)[idx])
+                              .dump(),
+                          now);
+        journalAux(Json::object()
+                       .set("event", Json("lease"))
+                       .set("lease", Json(id))
+                       .set("id", Json((*cells)[idx].id))
+                       .set("worker", Json(ps.name)));
+    }
+
+    void
+    grantLeases(std::int64_t now)
+    {
+        for (auto &[fd, ps] : peers) {
+            if (!ps.registered || ps.closeAfterFlush)
+                continue;
+            while (ps.leases.size() < ps.slots && !pending.empty()) {
+                bool granted = false;
+                const std::size_t scanMax = pending.size();
+                for (std::size_t scan = 0; scan < scanMax; ++scan) {
+                    const std::size_t idx = pending.front();
+                    pending.pop_front();
+                    cellState[idx].queued = false;
+                    if (cellState[idx].done)
+                        continue; // stale entry, drop it
+                    if (peerHoldsCell(ps, idx)) {
+                        // Duplicating a cell onto the worker already
+                        // running it gains nothing; leave it for
+                        // another worker.
+                        pending.push_back(idx);
+                        cellState[idx].queued = true;
+                        continue;
+                    }
+                    grant(fd, ps, idx, now);
+                    granted = true;
+                    break;
+                }
+                if (!granted)
+                    break;
+            }
+        }
+
+        // Straggler policy: with nothing pending and capacity idle,
+        // duplicate the oldest single-leased cell onto another worker.
+        // First result wins; the loser is discarded as a duplicate.
+        if (!pending.empty() || opt.stragglerMs == 0)
+            return;
+        for (auto &[fd, ps] : peers) {
+            if (!ps.registered || ps.closeAfterFlush ||
+                ps.leases.size() >= ps.slots)
+                continue;
+            const Lease *oldest = nullptr;
+            for (const auto &[id, lease] : leases) {
+                if (lease.peerFd == fd)
+                    continue;
+                const CellState &cs = cellState[lease.cell];
+                if (cs.done || cs.outstanding != 1)
+                    continue;
+                if (now - lease.grantedAt <
+                    static_cast<std::int64_t>(opt.stragglerMs))
+                    continue;
+                if (!oldest || lease.grantedAt < oldest->grantedAt)
+                    oldest = &lease;
+            }
+            if (oldest) {
+                ++stats.stragglerLeases;
+                grant(fd, ps, oldest->cell, now);
+            }
+        }
+    }
+
+    /** Returns false when the peer must be dropped. */
+    bool
+    handleMessage(int fd, PeerState &ps, const Json &msg,
+                  const std::string &type, std::int64_t now,
+                  std::string *why)
+    {
+        ps.lastSeen = now;
+        if (!ps.registered && type != "hello") {
+            *why = "spoke before hello";
+            return false;
+        }
+        if (type == "hello") {
+            const std::uint64_t proto =
+                wire::uintField(msg, "proto", 0);
+            if (proto != static_cast<std::uint64_t>(
+                             wire::kProtoVersion)) {
+                ps.peer.sendFrame(
+                    wire::goodbye("protocol version " +
+                                  std::to_string(proto) +
+                                  " != " +
+                                  std::to_string(wire::kProtoVersion))
+                        .dump(),
+                    now);
+                ps.closeAfterFlush = true;
+                ++stats.droppedPeers;
+                return true; // drop after the goodbye flushes
+            }
+            if (ps.registered)
+                return true; // duplicate hello (dup fault): ignore
+            ps.registered = true;
+            ps.name = wire::stringField(msg, "worker");
+            if (ps.name.empty())
+                ps.name = "worker-fd" + std::to_string(fd);
+            ps.slots = static_cast<unsigned>(std::clamp<std::uint64_t>(
+                wire::uintField(msg, "slots", 1), 1, 64));
+            ++stats.workersSeen;
+            stats.peakWorkers =
+                std::max(stats.peakWorkers, registeredCount());
+            ps.peer.sendFrame(
+                wire::helloAck(report->name, opt.heartbeatTimeoutMs)
+                    .dump(),
+                now);
+            journalAux(Json::object()
+                           .set("event", Json("worker"))
+                           .set("worker", Json(ps.name))
+                           .set("slots", Json(ps.slots)));
+            return true;
+        }
+        if (type == "heartbeat") {
+            // Reconcile: a lease the worker no longer lists was lost
+            // in flight (dropped lease or dropped result frame) —
+            // re-queue it now instead of waiting for expiry.
+            std::set<std::uint64_t> active;
+            if (const Json *arr = msg.find("active");
+                arr && arr->isArray())
+                for (std::size_t i = 0; i < arr->size(); ++i)
+                    if (arr->at(i).isNumber())
+                        active.insert(arr->at(i).asUint());
+            const std::vector<std::uint64_t> held(ps.leases.begin(),
+                                                  ps.leases.end());
+            for (std::uint64_t id : held) {
+                if (active.count(id))
+                    continue;
+                const auto it = leases.find(id);
+                if (it == leases.end() ||
+                    now - it->second.grantedAt <
+                        static_cast<std::int64_t>(opt.reconcileGraceMs))
+                    continue;
+                releaseLease(id, /*requeue=*/true, /*front=*/false);
+                ++stats.leasesReassigned;
+            }
+            return true;
+        }
+        if (type == "result") {
+            const Json *cellJson = msg.find("cell");
+            CellReport cell;
+            std::string err;
+            if (!cellJson || !cellJson->isObject() ||
+                !cellReportFromJson(*cellJson, &cell, &err)) {
+                *why = "unparseable result: " + err;
+                return false;
+            }
+            // Retire the lease first so slot accounting is exact even
+            // when the result itself is a discarded duplicate.
+            releaseLease(wire::uintField(msg, "lease", 0),
+                         /*requeue=*/false, /*front=*/false);
+            const auto idxIt = idToIndex.find(cell.request.id);
+            if (idxIt == idToIndex.end() ||
+                cellState[idxIt->second].done) {
+                ++stats.duplicateResults;
+                return true;
+            }
+            if (!(cell.request == (*cells)[idxIt->second])) {
+                *why = "result for mutated request " + cell.request.id;
+                return false;
+            }
+            markDone(idxIt->second, std::move(cell), /*fromWire=*/true,
+                     "worker " + ps.name);
+            return true;
+        }
+        if (type == "goodbye") {
+            *why = "worker said goodbye";
+            return false;
+        }
+        *why = "unknown message type '" + type + "'";
+        return false;
+    }
+
+    void
+    localFallback(const std::string &name)
+    {
+        stats.usedLocalFallback = true;
+        std::vector<RunRequest> remaining;
+        for (std::size_t i = 0; i < cells->size(); ++i)
+            if (!cellState[i].done)
+                remaining.push_back((*cells)[i]);
+        if (opt.runner.progress)
+            *opt.runner.progress
+                << "no workers for " << opt.graceMs
+                << " ms; running remaining " << remaining.size()
+                << " cell" << (remaining.size() == 1 ? "" : "s")
+                << " on the local runner\n"
+                << std::flush;
+        RunnerOptions local = opt.runner;
+        local.resumeFrom = nullptr; // resume was consumed up front
+        const CampaignReport sub =
+            runCampaign(name, remaining, local);
+        for (const CellReport &cell : sub.cells) {
+            const auto it = idToIndex.find(cell.request.id);
+            if (it == idToIndex.end() || cellState[it->second].done)
+                continue;
+            cellState[it->second].done = true;
+            ++doneCount;
+            report->cells[it->second] = cell;
+        }
+    }
+
+    void
+    finish(std::int64_t now)
+    {
+        for (auto &[fd, ps] : peers)
+            ps.peer.sendFrame(wire::goodbye("campaign complete").dump(),
+                              now);
+        // Best-effort flush so workers exit cleanly rather than on a
+        // reset; half a second, then the sockets close regardless.
+        const std::int64_t deadline = monotonicMs() + 500;
+        while (monotonicMs() < deadline) {
+            bool backlog = false;
+            std::vector<struct pollfd> fds;
+            for (auto &[fd, ps] : peers)
+                if (ps.peer.sendBacklog() > 0) {
+                    backlog = true;
+                    fds.push_back({fd, POLLOUT, 0});
+                }
+            if (!backlog)
+                break;
+            ::poll(fds.data(), fds.size(), 50);
+            std::vector<int> drops;
+            for (auto &[fd, ps] : peers)
+                if (!ps.peer.pumpSend(monotonicMs()))
+                    drops.push_back(fd);
+            for (int fd : drops)
+                dropPeer(fd, "flush failed", /*dead=*/false,
+                         /*violation=*/false);
+        }
+        while (!peers.empty())
+            dropPeer(peers.begin()->first, "campaign complete",
+                     /*dead=*/false, /*violation=*/false);
+    }
+};
+
+Coordinator::Coordinator(CoordinatorOptions opt)
+    : impl_(std::make_unique<Impl>(std::move(opt)))
+{}
+
+Coordinator::~Coordinator() = default;
+
+bool
+Coordinator::listen(std::string *err)
+{
+    impl_->listenFd =
+        net::listenTcp(impl_->opt.port, &impl_->boundPort, err);
+    return impl_->listenFd.valid();
+}
+
+std::uint16_t
+Coordinator::port() const
+{
+    return impl_->boundPort;
+}
+
+const CoordinatorStats &
+Coordinator::stats() const
+{
+    return impl_->stats;
+}
+
+CampaignReport
+Coordinator::run(const std::string &name,
+                 const std::vector<RunRequest> &cells)
+{
+    Impl &im = *impl_;
+    CampaignReport report;
+    report.name = name;
+    report.cells.resize(cells.size());
+
+    im.cells = &cells;
+    im.report = &report;
+    im.cellState.assign(cells.size(), Impl::CellState{});
+    im.idToIndex.clear();
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        im.idToIndex[cells[i].id] = i;
+
+    // Lease budget: the worker-side policy (timeout x attempts plus
+    // backoff) with margin for transfer and scheduling.  Only after
+    // this does a still-running lease get duplicated elsewhere.
+    const std::int64_t cellBudget = im.opt.runner.timeout.count() > 0
+                                        ? im.opt.runner.timeout.count()
+                                        : 600'000;
+    im.leaseTimeoutMs =
+        im.opt.leaseTimeoutMs
+            ? im.opt.leaseTimeoutMs
+            : static_cast<unsigned>(std::min<std::int64_t>(
+                  cellBudget * (im.opt.runner.retries + 1) + 30'000,
+                  86'400'000));
+
+    const std::int64_t startMs = monotonicMs();
+
+    // Resume: journaled cells short-circuit to done, exactly as the
+    // local runner reuses them.
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (im.opt.runner.resumeFrom) {
+            const auto it =
+                im.opt.runner.resumeFrom->cells.find(cells[i].id);
+            if (it != im.opt.runner.resumeFrom->cells.end() &&
+                it->second.request == cells[i]) {
+                CellReport cell = it->second;
+                cell.fromJournal = true;
+                im.markDone(i, std::move(cell), /*fromWire=*/false,
+                            "journal");
+                continue;
+            }
+        }
+        im.pending.push_back(i);
+        im.cellState[i].queued = true;
+    }
+
+    im.noWorkerSince = monotonicMs();
+    while (im.doneCount < cells.size()) {
+        const std::int64_t now = monotonicMs();
+
+        if (im.opt.localFallback && im.registeredCount() == 0 &&
+            now - im.noWorkerSince >=
+                static_cast<std::int64_t>(im.opt.graceMs)) {
+            im.localFallback(name);
+            break;
+        }
+
+        std::vector<struct pollfd> fds;
+        fds.push_back({im.listenFd.get(), POLLIN, 0});
+        std::vector<int> order;
+        for (auto &[fd, ps] : im.peers) {
+            short events = POLLIN;
+            if (ps.peer.wantWrite(now))
+                events |= POLLOUT;
+            fds.push_back({fd, events, 0});
+            order.push_back(fd);
+        }
+        int rc;
+        do {
+            rc = ::poll(fds.data(), fds.size(), 50);
+        } while (rc < 0 && errno == EINTR);
+
+        const std::int64_t tick = monotonicMs();
+
+        // New connections.
+        if (fds[0].revents & POLLIN) {
+            for (;;) {
+                net::Fd conn = net::acceptTcp(im.listenFd.get());
+                if (!conn.valid())
+                    break;
+                const int fd = conn.get();
+                // Derive a per-connection seed: still deterministic
+                // for a given run, but a reconnect does not replay the
+                // exact fault sequence that killed the last connection
+                // (same seed + same frames would livelock the fabric).
+                // The guaranteed first-frame fault applies to the
+                // run's first connection only, for the same reason.
+                net::WireFault fault = im.opt.fault;
+                fault.guaranteeFirst =
+                    fault.guaranteeFirst && im.connSeq == 0;
+                fault.seed += im.connSeq++;
+                Impl::PeerState ps;
+                ps.peer = net::Peer(std::move(conn), fault);
+                ps.lastSeen = tick;
+                im.peers.emplace(fd, std::move(ps));
+            }
+        }
+
+        // Inbound traffic.
+        std::vector<std::pair<int, std::string>> deadDrops;
+        std::vector<std::pair<int, std::string>> violationDrops;
+        for (std::size_t i = 1; i < fds.size(); ++i) {
+            const int fd = fds[i].fd;
+            const auto it = im.peers.find(fd);
+            if (it == im.peers.end())
+                continue;
+            Impl::PeerState &ps = it->second;
+            if (!(fds[i].revents & (POLLIN | POLLERR | POLLHUP)))
+                continue;
+            // Drain buffered frames even when the read hit EOF: a
+            // dying worker's last result lands in the same wakeup as
+            // its close, and losing it costs a pointless re-run.
+            const bool recvOk = ps.peer.pumpRecv();
+            std::string payload;
+            bool drop = false;
+            while (!drop && ps.peer.nextFrame(&payload) ==
+                                net::FrameDecoder::Status::Frame) {
+                Json msg;
+                std::string type;
+                std::string why;
+                if (!wire::parseMessage(payload, &msg, &type)) {
+                    violationDrops.push_back({fd, "malformed message"});
+                    drop = true;
+                } else if (!im.handleMessage(fd, ps, msg, type, tick,
+                                             &why)) {
+                    const bool violation =
+                        type != "goodbye";
+                    (violation ? violationDrops : deadDrops)
+                        .push_back({fd, why});
+                    drop = true;
+                }
+            }
+            if (!drop && ps.peer.failed()) {
+                violationDrops.push_back({fd, ps.peer.error()});
+                drop = true;
+            }
+            if (!drop && !recvOk)
+                deadDrops.push_back({fd, "connection lost"});
+        }
+        for (const auto &[fd, why] : deadDrops)
+            im.dropPeer(fd, why, /*dead=*/why == "connection lost",
+                        /*violation=*/false);
+        for (const auto &[fd, why] : violationDrops)
+            im.dropPeer(fd, why, /*dead=*/false, /*violation=*/true);
+
+        // Liveness: heartbeat silence kills registered workers; a
+        // connection that never completes hello gets the same budget.
+        std::vector<std::pair<int, std::string>> silent;
+        for (auto &[fd, ps] : im.peers)
+            if (tick - ps.lastSeen >
+                static_cast<std::int64_t>(im.opt.heartbeatTimeoutMs))
+                silent.push_back(
+                    {fd, ps.registered ? "heartbeat timeout"
+                                       : "no hello"});
+        for (const auto &[fd, why] : silent)
+            im.dropPeer(fd, why, /*dead=*/true, /*violation=*/false);
+
+        // Lease expiry: a hung cell on a live worker re-queues.
+        std::vector<std::uint64_t> expired;
+        for (const auto &[id, lease] : im.leases)
+            if (tick - lease.grantedAt >
+                static_cast<std::int64_t>(im.leaseTimeoutMs))
+                expired.push_back(id);
+        for (std::uint64_t id : expired) {
+            im.releaseLease(id, /*requeue=*/true, /*front=*/false);
+            ++im.stats.leasesReassigned;
+        }
+
+        im.grantLeases(tick);
+
+        std::vector<int> sendDrops;
+        for (auto &[fd, ps] : im.peers) {
+            if (!ps.peer.pumpSend(tick)) {
+                sendDrops.push_back(fd);
+                continue;
+            }
+            if (ps.closeAfterFlush && ps.peer.sendBacklog() == 0)
+                sendDrops.push_back(fd);
+        }
+        for (int fd : sendDrops)
+            im.dropPeer(fd, "send failed or rejected", /*dead=*/false,
+                        /*violation=*/false);
+    }
+
+    im.finish(monotonicMs());
+    im.listenFd.reset();
+
+    report.jobs = std::max(1u, im.stats.peakWorkers);
+    report.wallMs = static_cast<double>(monotonicMs() - startMs);
+    report.orphanedThreads = liveOrphanCount();
+    return report;
+}
+
+} // namespace tsoper::campaign

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Campaign coordinator: leases cells to TCP workers, survives their
+ * death, and merges their results into a standard CampaignReport.
+ *
+ * The coordinator is the distributed counterpart of runCampaign(): it
+ * expands nothing and executes nothing itself — it owns the *ledger*.
+ * Every cell is in exactly one of three states: pending (queued for
+ * lease), leased (granted to >= 1 live worker), or done (result
+ * merged, journaled).  The invariant the fabric guarantees is that
+ * every cell ends done exactly once, no matter which workers die,
+ * hang, reconnect or answer twice:
+ *
+ *  - liveness: workers heartbeat; one that goes quiet past the
+ *    timeout is declared dead and its leases re-queued (re-execution
+ *    is idempotent by construction — the same property the resume
+ *    journal relies on);
+ *  - a socket error, EOF, framing violation or malformed message
+ *    drops the peer the same way — a confused peer cannot be trusted
+ *    with leases;
+ *  - lease expiry: a lease older than its budget is re-queued even if
+ *    the worker still heartbeats (hung cell on a live worker);
+ *  - heartbeats carry the worker's active lease ids, so a lease the
+ *    worker no longer knows about (lost lease or lost result frame)
+ *    is re-queued after a short grace instead of waiting for expiry;
+ *  - stragglers: when the pending queue is empty and capacity is
+ *    idle, the oldest single-leased in-flight cell is leased a second
+ *    time to a different worker — first result wins, the loser is
+ *    discarded as a duplicate;
+ *  - graceful degradation: if no worker is connected for the grace
+ *    period, the remaining cells run on the local thread-pool runner
+ *    so a campaign never deadlocks on an empty fabric.
+ *
+ * Every lease grant and merged result flows through the existing
+ * write-ahead journal, so `--resume` works across coordinator
+ * restarts exactly as it does for local runs.
+ */
+
+#ifndef TSOPER_CAMPAIGN_COORDINATOR_HH
+#define TSOPER_CAMPAIGN_COORDINATOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.hh"
+#include "net/fault.hh"
+
+namespace tsoper::campaign
+{
+
+struct CoordinatorOptions
+{
+    /** TCP port to listen on; 0 = kernel-assigned (see port()). */
+    std::uint16_t port = 0;
+
+    /** Cell policy (timeout, retries, journal, resumeFrom, progress)
+     *  plus the local-fallback runner's knobs.  Workers receive the
+     *  timeout/retries with each lease so both execution paths apply
+     *  one policy. */
+    RunnerOptions runner;
+
+    /** A worker silent for this long is dead; its leases re-queue. */
+    unsigned heartbeatTimeoutMs = 10'000;
+
+    /** Per-lease wall-clock budget before the cell is re-leased
+     *  elsewhere; 0 = derived from timeout x (retries + 1) + margin. */
+    unsigned leaseTimeoutMs = 0;
+
+    /** Re-lease age for the straggler policy (tail cells duplicated
+     *  onto idle workers); 0 disables duplication. */
+    unsigned stragglerMs = 10'000;
+
+    /** With no connected worker for this long, remaining cells run on
+     *  the local thread-pool runner. */
+    unsigned graceMs = 10'000;
+
+    /** Master switch for the local-runner degradation path. */
+    bool localFallback = true;
+
+    /** Grace before a heartbeat that omits a lease id re-queues it
+     *  (covers the lease/heartbeat crossing race). */
+    unsigned reconcileGraceMs = 2'000;
+
+    /** Coordinator-side deterministic wire faults (tests). */
+    net::WireFault fault;
+
+    /** Called after each result merged off the wire with the running
+     *  count — the chaos-kill hook in tools/tsoper_campaign. */
+    std::function<void(std::size_t resultsMerged)> onResult;
+};
+
+struct CoordinatorStats
+{
+    unsigned workersSeen = 0;     ///< Successful hello registrations.
+    unsigned peakWorkers = 0;
+    unsigned deadWorkers = 0;     ///< Dropped for error/EOF/timeout.
+    unsigned droppedPeers = 0;    ///< Framing/protocol violations.
+    std::uint64_t leasesGranted = 0;
+    std::uint64_t leasesReassigned = 0; ///< Re-queued from any cause.
+    std::uint64_t stragglerLeases = 0;
+    std::uint64_t duplicateResults = 0; ///< Discarded (first-wins).
+    std::uint64_t faultsApplied = 0;    ///< Coordinator-side only.
+    bool usedLocalFallback = false;
+
+    /** One line for logs: workers/deaths/reassignments/duplicates. */
+    std::string summary() const;
+};
+
+class Coordinator
+{
+  public:
+    explicit Coordinator(CoordinatorOptions opt);
+    ~Coordinator();
+
+    Coordinator(const Coordinator &) = delete;
+    Coordinator &operator=(const Coordinator &) = delete;
+
+    /** Bind + listen; false with a message in @p err on failure.
+     *  Must be called (successfully) before run(). */
+    bool listen(std::string *err);
+
+    /** The bound port (valid after listen()); with Options::port == 0
+     *  this is the kernel-assigned ephemeral port. */
+    std::uint16_t port() const;
+
+    /**
+     * Drive the campaign to completion and return the merged report.
+     * Cell order in the report matches @p cells regardless of which
+     * worker finished what.  Blocks until every cell is done (workers
+     * get a goodbye) or degraded locally.
+     */
+    CampaignReport run(const std::string &name,
+                       const std::vector<RunRequest> &cells);
+
+    const CoordinatorStats &stats() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace tsoper::campaign
+
+#endif // TSOPER_CAMPAIGN_COORDINATOR_HH

@@ -52,6 +52,17 @@ CampaignJournal::append(const CellReport &cell)
 }
 
 void
+CampaignJournal::appendAux(const Json &record)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fd_ < 0)
+        return;
+    if (!record.isObject() || !record.find("event"))
+        return; // would be mistaken for a cell on load — refuse
+    writeLine(record.dump());
+}
+
+void
 CampaignJournal::writeLine(const std::string &line)
 {
     std::string buf = line;
@@ -81,7 +92,8 @@ CampaignJournal::close()
 }
 
 bool
-loadJournal(const std::string &path, JournalIndex *out, std::string *err)
+loadJournal(const std::string &path, JournalIndex *out,
+            std::string *err, std::string *warn)
 {
     std::ifstream is(path);
     if (!is) {
@@ -103,13 +115,24 @@ loadJournal(const std::string &path, JournalIndex *out, std::string *err)
             // A torn final line means the process died mid-append;
             // anything before it is still good.  A torn line in the
             // *middle* means corruption.
-            if (is.peek() == std::char_traits<char>::eof())
+            if (is.peek() == std::char_traits<char>::eof()) {
+                if (warn)
+                    *warn = path + " line " + std::to_string(lineNo) +
+                            ": torn final record (" +
+                            std::to_string(line.size()) +
+                            " bytes) ignored — the writer died "
+                            "mid-append";
                 break;
+            }
             if (err)
                 *err = path + " line " + std::to_string(lineNo) + ": " +
                        parseErr;
             return false;
         }
+        // Coordinator aux records (lease grants, worker events) share
+        // the journal but are not cells.
+        if (doc.find("event"))
+            continue;
         if (!sawHeader) {
             const Json *format = doc.find("format");
             if (!format || !format->isString() ||

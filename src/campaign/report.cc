@@ -194,6 +194,49 @@ CampaignReport::toJson() const
     return j;
 }
 
+namespace
+{
+
+bool
+isVolatileKey(const std::string &key, bool topLevel)
+{
+    if (key == "wall_ms")
+        return true;
+    if (topLevel)
+        return key == "jobs" || key == "orphaned_threads";
+    return key == "attempts" || key == "attempt_log" ||
+           key == "stderr_tail";
+}
+
+// Json has no erase; canonicalization rebuilds filtered copies.
+// Member insertion order is preserved, so the projection is stable.
+Json
+stripVolatile(const Json &j, bool topLevel)
+{
+    Json out = Json::object();
+    for (const auto &[key, value] : j.members()) {
+        if (isVolatileKey(key, topLevel))
+            continue;
+        if (key == "cells" && topLevel && value.isArray()) {
+            Json cells = Json::array();
+            for (std::size_t i = 0; i < value.size(); ++i)
+                cells.push(stripVolatile(value.at(i), false));
+            out.set(key, std::move(cells));
+            continue;
+        }
+        out.set(key, value);
+    }
+    return out;
+}
+
+} // namespace
+
+Json
+canonicalReportJson(const CampaignReport &report)
+{
+    return stripVolatile(report.toJson(), /*topLevel=*/true);
+}
+
 bool
 writeReportFile(const CampaignReport &report, const std::string &path,
                 std::string *err)

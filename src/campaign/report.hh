@@ -97,6 +97,18 @@ struct CampaignReport
 };
 
 /**
+ * The report reduced to its deterministic content: toJson() minus the
+ * fields that legitimately vary between runs of the same spec —
+ * wall-clock ("wall_ms" everywhere), scheduling ("jobs",
+ * "orphaned_threads") and retry bookkeeping ("attempts",
+ * "attempt_log", "stderr_tail").  Two runs of one spec — local
+ * thread-pool or distributed fabric, any worker count, any failover
+ * history — must dump() byte-identical canonical forms; the net_smoke
+ * test enforces exactly that.
+ */
+Json canonicalReportJson(const CampaignReport &report);
+
+/**
  * Write @p report.toJson() to @p path (pretty-printed, trailing
  * newline).  Returns false with a message in @p err on I/O failure.
  */

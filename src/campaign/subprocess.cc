@@ -261,6 +261,8 @@ runSubprocess(const RunRequest &r, const SubprocessOptions &opt)
         char buf[4096];
         for (;;) {
             const ssize_t got = ::read(errPipe[0], buf, sizeof(buf));
+            if (got < 0 && errno == EINTR)
+                continue; // a signal mid-read must not drop the tail
             if (got <= 0)
                 break;
             rawErr.append(buf, static_cast<std::size_t>(got));
@@ -271,13 +273,31 @@ runSubprocess(const RunRequest &r, const SubprocessOptions &opt)
         }
     };
 
+    // Every waitpid below retries EINTR: a signal landing mid-wait
+    // would otherwise leave wstatus garbage and the child unreaped,
+    // and the campaign would misclassify the cell from stale bits.
+    const auto reapNonBlocking = [&](int *status) {
+        pid_t got;
+        do {
+            got = ::waitpid(pid, status, WNOHANG);
+        } while (got < 0 && errno == EINTR);
+        return got;
+    };
+    const auto reapBlocking = [&](int *status) {
+        pid_t got;
+        do {
+            got = ::waitpid(pid, status, 0);
+        } while (got < 0 && errno == EINTR);
+        return got;
+    };
+
     int wstatus = 0;
     bool exited = false;
     while (!exited) {
         struct pollfd pfd{errPipe[0], POLLIN, 0};
         ::poll(&pfd, 1, 5);
         drainPipe();
-        const pid_t got = ::waitpid(pid, &wstatus, WNOHANG);
+        const pid_t got = reapNonBlocking(&wstatus);
         if (got == pid) {
             exited = true;
         } else if (opt.timeout.count() > 0 &&
@@ -285,7 +305,7 @@ runSubprocess(const RunRequest &r, const SubprocessOptions &opt)
                        static_cast<double>(opt.timeout.count())) {
             out.timedOut = true;
             ::kill(pid, SIGKILL);
-            ::waitpid(pid, &wstatus, 0); // blocking reap: no orphan
+            reapBlocking(&wstatus); // blocking reap: no orphan
             exited = true;
         }
     }

@@ -1,0 +1,97 @@
+#include "campaign/wire.hh"
+
+namespace tsoper::campaign::wire
+{
+
+Json
+hello(const std::string &worker, unsigned slots)
+{
+    Json j = Json::object();
+    j.set("type", Json("hello"))
+        .set("proto", Json(kProtoVersion))
+        .set("worker", Json(worker))
+        .set("slots", Json(slots));
+    return j;
+}
+
+Json
+helloAck(const std::string &campaign, unsigned heartbeatTimeoutMs)
+{
+    Json j = Json::object();
+    j.set("type", Json("hello_ack"))
+        .set("proto", Json(kProtoVersion))
+        .set("campaign", Json(campaign))
+        .set("heartbeat_timeout_ms", Json(heartbeatTimeoutMs));
+    return j;
+}
+
+Json
+lease(std::uint64_t leaseId, unsigned timeoutMs, unsigned retries,
+      const RunRequest &cell)
+{
+    Json j = Json::object();
+    j.set("type", Json("lease"))
+        .set("lease", Json(leaseId))
+        .set("timeout_ms", Json(timeoutMs))
+        .set("retries", Json(retries))
+        .set("cell", cell.toJson());
+    return j;
+}
+
+Json
+result(std::uint64_t leaseId, const CellReport &cell)
+{
+    Json j = Json::object();
+    j.set("type", Json("result"))
+        .set("lease", Json(leaseId))
+        .set("cell", cell.toJson());
+    return j;
+}
+
+Json
+heartbeat(const std::vector<std::uint64_t> &activeLeases)
+{
+    Json active = Json::array();
+    for (std::uint64_t id : activeLeases)
+        active.push(Json(id));
+    Json j = Json::object();
+    j.set("type", Json("heartbeat")).set("active", std::move(active));
+    return j;
+}
+
+Json
+goodbye(const std::string &reason)
+{
+    Json j = Json::object();
+    j.set("type", Json("goodbye")).set("reason", Json(reason));
+    return j;
+}
+
+bool
+parseMessage(const std::string &payload, Json *out, std::string *type)
+{
+    std::string err;
+    if (!Json::parse(payload, out, &err) || !out->isObject())
+        return false;
+    const Json *t = out->find("type");
+    if (!t || !t->isString())
+        return false;
+    *type = t->asString();
+    return true;
+}
+
+std::uint64_t
+uintField(const Json &j, const char *key, std::uint64_t fallback)
+{
+    const Json *v = j.find(key);
+    return v && v->isNumber() ? v->asUint() : fallback;
+}
+
+std::string
+stringField(const Json &j, const char *key)
+{
+    const Json *v = j.find(key);
+    return v && v->isString() ? v->asString() : "";
+}
+
+} // namespace tsoper::campaign::wire

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The campaign fabric's wire vocabulary: versioned JSON messages
+ * exchanged between coordinator and worker over net/ frames.
+ *
+ * Five message types, all flat JSON objects with a "type" member:
+ *
+ *   hello      worker -> coord   {proto, worker, slots}
+ *   hello_ack  coord -> worker   {proto, campaign,
+ *                                 heartbeat_timeout_ms}
+ *   lease      coord -> worker   {lease, timeout_ms, retries,
+ *                                 cell: RunRequest JSON}
+ *   result     worker -> coord   {lease, cell: CellReport JSON}
+ *   heartbeat  worker -> coord   {active: [lease ids]}
+ *   goodbye    either direction  {reason}
+ *
+ * Versioning: `hello` carries kProtoVersion; a coordinator that sees
+ * a different version answers with `goodbye` and drops the peer, so
+ * mixed deployments fail loudly at connect time instead of subtly
+ * mid-campaign.  Unknown members are ignored everywhere (additive
+ * evolution); unknown *types* drop the peer (a confused peer cannot
+ * be trusted with leases).
+ *
+ * Cell payloads reuse the campaign's existing JSON forms verbatim —
+ * RunRequest::toJson / runRequestFromJson for leases and
+ * CellReport::toJson / cellReportFromJson for results — so a cell
+ * that crossed the wire is byte-for-byte the cell a local runner
+ * would have produced, which is what makes distributed reports
+ * comparable to local ones.
+ */
+
+#ifndef TSOPER_CAMPAIGN_WIRE_HH
+#define TSOPER_CAMPAIGN_WIRE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/report.hh"
+#include "campaign/run_request.hh"
+#include "sim/json.hh"
+
+namespace tsoper::campaign::wire
+{
+
+inline constexpr int kProtoVersion = 1;
+
+Json hello(const std::string &worker, unsigned slots);
+
+/** @p heartbeatTimeoutMs tells the worker how quiet it may go before
+ *  being declared dead — it paces its heartbeats at a fraction of
+ *  this, so one coordinator-side knob tunes both ends. */
+Json helloAck(const std::string &campaign,
+              unsigned heartbeatTimeoutMs);
+Json lease(std::uint64_t leaseId, unsigned timeoutMs, unsigned retries,
+           const RunRequest &cell);
+Json result(std::uint64_t leaseId, const CellReport &cell);
+Json heartbeat(const std::vector<std::uint64_t> &activeLeases);
+Json goodbye(const std::string &reason);
+
+/** Parse a frame payload: JSON object with a string "type".  Returns
+ *  false (drop the peer) on malformed JSON or a missing type. */
+bool parseMessage(const std::string &payload, Json *out,
+                  std::string *type);
+
+/** j[key] as uint64 when present and numeric, else @p fallback. */
+std::uint64_t uintField(const Json &j, const char *key,
+                        std::uint64_t fallback);
+
+/** j[key] as string when present, else "". */
+std::string stringField(const Json &j, const char *key);
+
+} // namespace tsoper::campaign::wire
+
+#endif // TSOPER_CAMPAIGN_WIRE_HH

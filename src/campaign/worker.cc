@@ -1,0 +1,282 @@
+#include "campaign/worker.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "campaign/thread_pool.hh"
+#include "campaign/wire.hh"
+#include "net/peer.hh"
+#include "net/socket.hh"
+
+namespace tsoper::campaign
+{
+
+using net::monotonicMs;
+
+std::string
+WorkerStats::summary() const
+{
+    std::ostringstream os;
+    os << "worker: " << leasesAccepted << " leases, " << resultsSent
+       << " results, " << reconnects << " reconnect"
+       << (reconnects == 1 ? "" : "s");
+    if (faultsApplied)
+        os << "; net-fault applied " << faultsApplied << " times";
+    return os.str();
+}
+
+namespace
+{
+
+struct Completion
+{
+    std::uint64_t lease = 0;
+    CellReport cell;
+};
+
+} // namespace
+
+int
+runWorker(const WorkerOptions &opt, WorkerStats *statsOut)
+{
+    WorkerStats stats;
+    const auto finish = [&](int code) {
+        if (statsOut)
+            *statsOut = stats;
+        return code;
+    };
+
+    std::string name = opt.name;
+    if (name.empty())
+        name = "worker-" + std::to_string(::getpid());
+    const unsigned jobs = std::max(1u, opt.jobs);
+
+    // Declaration order matters: the pool's destructor joins in-flight
+    // cells, which still touch the queue and the wake pipe.
+    std::mutex doneMutex;
+    std::vector<Completion> done;
+    net::Fd wakeRead, wakeWrite;
+    std::string err;
+    if (!net::makeWakePipe(&wakeRead, &wakeWrite, &err))
+        return finish(kExitConnectionLost);
+    ThreadPool pool(jobs);
+
+    std::set<std::uint64_t> active; // leases in flight (main thread)
+    bool campaignDone = false;
+    bool everConnected = false;
+    unsigned failures = 0;
+
+    while (!campaignDone) {
+        net::Fd sock =
+            net::connectTcp(opt.host, opt.port, 5'000, &err);
+        if (!sock.valid()) {
+            ++failures;
+            if (failures >= std::max(1u, opt.connectAttempts)) {
+                if (opt.progress)
+                    *opt.progress << "worker " << name
+                                  << ": giving up: " << err << "\n"
+                                  << std::flush;
+                return finish(kExitConnectionLost);
+            }
+            const unsigned delay = std::min<unsigned>(
+                opt.backoffMaxMs,
+                opt.backoffBaseMs << std::min(failures - 1, 16u));
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
+            continue;
+        }
+        failures = 0;
+        if (everConnected)
+            ++stats.reconnects;
+        everConnected = true;
+
+        net::Peer peer(std::move(sock), opt.fault);
+        std::int64_t now = monotonicMs();
+        peer.sendFrame(wire::hello(name, jobs).dump(), now);
+        unsigned hbMs = std::max(100u, opt.heartbeatMs);
+        std::int64_t nextHeartbeat = now + hbMs;
+        bool up = true;
+
+        while (up && !campaignDone) {
+            now = monotonicMs();
+            if (now >= nextHeartbeat) {
+                peer.sendFrame(
+                    wire::heartbeat({active.begin(), active.end()})
+                        .dump(),
+                    now);
+                nextHeartbeat = now + hbMs;
+            }
+
+            struct pollfd fds[2] = {
+                {peer.fd(),
+                 static_cast<short>(POLLIN | (peer.wantWrite(now)
+                                                  ? POLLOUT
+                                                  : 0)),
+                 0},
+                {wakeRead.get(), POLLIN, 0},
+            };
+            const int timeout = static_cast<int>(std::clamp<
+                std::int64_t>(nextHeartbeat - now, 1, 100));
+            int rc;
+            do {
+                rc = ::poll(fds, 2, timeout);
+            } while (rc < 0 && errno == EINTR);
+            now = monotonicMs();
+
+            if (fds[1].revents & POLLIN)
+                net::drainWake(wakeRead.get());
+
+            // Finished cells -> result frames.  Completions computed
+            // while disconnected drain here too; the coordinator
+            // merges them by cell id even though the lease died with
+            // the old connection.
+            std::vector<Completion> ready;
+            {
+                std::lock_guard<std::mutex> lock(doneMutex);
+                ready.swap(done);
+            }
+            for (Completion &c : ready) {
+                active.erase(c.lease);
+                peer.sendFrame(wire::result(c.lease, c.cell).dump(),
+                               now);
+                ++stats.resultsSent;
+                if (opt.progress)
+                    *opt.progress
+                        << "worker " << name << ": "
+                        << toString(c.cell.result.status) << " "
+                        << c.cell.request.id << "\n"
+                        << std::flush;
+                if (opt.dieAfterResults &&
+                    stats.resultsSent >= opt.dieAfterResults) {
+                    // Flush what we just sent, then vanish without a
+                    // goodbye — the deterministic SIGKILL stand-in.
+                    const std::int64_t deadline = now + 1'000;
+                    while (peer.sendBacklog() > 0 &&
+                           monotonicMs() < deadline) {
+                        struct pollfd p{peer.fd(), POLLOUT, 0};
+                        ::poll(&p, 1, 50);
+                        if (!peer.pumpSend(monotonicMs()))
+                            break;
+                    }
+                    stats.faultsApplied += peer.faultsApplied();
+                    return finish(kExitDiedOnPurpose);
+                }
+            }
+
+            if (fds[0].revents & (POLLIN | POLLERR | POLLHUP)) {
+                // Drain buffered frames even when the read hit EOF:
+                // the goodbye that ends the campaign routinely arrives
+                // in the same wakeup as the coordinator's close.
+                const bool recvOk = peer.pumpRecv();
+                {
+                    std::string payload;
+                    while (up &&
+                           peer.nextFrame(&payload) ==
+                               net::FrameDecoder::Status::Frame) {
+                        Json msg;
+                        std::string type;
+                        if (!wire::parseMessage(payload, &msg,
+                                                &type)) {
+                            up = false;
+                            break;
+                        }
+                        if (type == "hello_ack") {
+                            // Pace heartbeats at a third of the
+                            // coordinator's liveness budget so one
+                            // knob tunes both ends.
+                            const std::uint64_t budget =
+                                wire::uintField(
+                                    msg, "heartbeat_timeout_ms", 0);
+                            if (budget) {
+                                hbMs = std::max<unsigned>(
+                                    100, static_cast<unsigned>(
+                                             std::min<std::uint64_t>(
+                                                 budget / 3, hbMs)));
+                                nextHeartbeat =
+                                    std::min(nextHeartbeat,
+                                             now + hbMs);
+                            }
+                            continue;
+                        }
+                        if (type == "goodbye") {
+                            campaignDone = true;
+                            break;
+                        }
+                        if (type != "lease") {
+                            up = false; // confused coordinator
+                            break;
+                        }
+                        const std::uint64_t leaseId =
+                            wire::uintField(msg, "lease", 0);
+                        const Json *cellJson = msg.find("cell");
+                        if (!leaseId || !cellJson ||
+                            !cellJson->isObject()) {
+                            up = false;
+                            break;
+                        }
+                        if (active.count(leaseId))
+                            continue; // dup-faulted lease replay
+                        RunRequest req =
+                            runRequestFromJson(*cellJson);
+                        RunnerOptions ro = opt.runner;
+                        ro.timeout = std::chrono::milliseconds(
+                            wire::uintField(
+                                msg, "timeout_ms",
+                                static_cast<std::uint64_t>(std::max<
+                                    std::int64_t>(
+                                    0, ro.timeout.count()))));
+                        ro.retries = static_cast<unsigned>(
+                            wire::uintField(msg, "retries",
+                                            ro.retries));
+                        ro.journal = nullptr;
+                        ro.resumeFrom = nullptr;
+                        ro.progress = nullptr;
+                        active.insert(leaseId);
+                        ++stats.leasesAccepted;
+                        pool.submit([leaseId, req, ro, &doneMutex,
+                                     &done,
+                                     wfd = wakeWrite.get()]() {
+                            Completion c;
+                            c.lease = leaseId;
+                            c.cell = runCell(req, ro);
+                            {
+                                std::lock_guard<std::mutex> lock(
+                                    doneMutex);
+                                done.push_back(std::move(c));
+                            }
+                            net::wake(wfd);
+                        });
+                    }
+                    if (up && (peer.failed() || !recvOk))
+                        up = false;
+                }
+            }
+
+            if (up && !peer.pumpSend(now))
+                up = false;
+        }
+
+        stats.faultsApplied += peer.faultsApplied();
+        if (!campaignDone && opt.progress)
+            *opt.progress << "worker " << name
+                          << ": connection lost, reconnecting\n"
+                          << std::flush;
+    }
+
+    // Straggler leases may still be computing (another worker won the
+    // race); the pool joins them on destruction, bounded by the lease
+    // timeout policy.
+    return finish(kExitWorkerOk);
+}
+
+} // namespace tsoper::campaign

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Campaign worker: connects to a coordinator, executes leased cells on
+ * a local thread pool, and streams results back.
+ *
+ * The worker is deliberately stateless across connections: every
+ * (re)connect starts with a fresh `hello`, and the coordinator treats
+ * it as a new worker.  That is what makes reconnection safe — any
+ * lease the old connection held was re-queued when the coordinator
+ * dropped it, and a result computed before the drop is still sent on
+ * the new connection and merged idempotently by cell id (first result
+ * wins on the coordinator).
+ *
+ * Liveness is the worker's job too: a heartbeat goes out every
+ * heartbeatMs carrying the ids of every lease still in flight, which
+ * lets the coordinator reconcile leases lost to dropped frames without
+ * waiting for the full lease timeout.
+ *
+ * Connection loss triggers bounded reconnect with exponential backoff;
+ * when the attempts are exhausted the worker gives up with
+ * kExitConnectionLost so a supervising script can tell "campaign
+ * finished" from "fabric unreachable".
+ */
+
+#ifndef TSOPER_CAMPAIGN_WORKER_HH
+#define TSOPER_CAMPAIGN_WORKER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "campaign/runner.hh"
+#include "net/fault.hh"
+
+namespace tsoper::campaign
+{
+
+/** runWorker exit codes (also the CLI's in worker mode). */
+inline constexpr int kExitWorkerOk = 0;
+inline constexpr int kExitConnectionLost = 5;
+inline constexpr int kExitDiedOnPurpose = 6; ///< dieAfterResults hook.
+
+struct WorkerOptions
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+
+    /** Name sent in hello; "" = "worker-<pid>". */
+    std::string name;
+
+    /** Concurrent cells (pool threads and advertised lease slots). */
+    unsigned jobs = 1;
+
+    unsigned heartbeatMs = 2'000;
+
+    /** Reconnect policy: exponential backoff from base to max, giving
+     *  up after this many *consecutive* failed connect attempts. */
+    unsigned connectAttempts = 5;
+    unsigned backoffBaseMs = 250;
+    unsigned backoffMaxMs = 5'000;
+
+    /** Execution policy template for leased cells.  timeout/retries
+     *  are overridden per lease by what the coordinator sends;
+     *  journal/resumeFrom/progress are ignored (the coordinator owns
+     *  the journal); isolation/subprocess/cellFn pass through. */
+    RunnerOptions runner;
+
+    /** Worker-side deterministic wire faults (tests). */
+    net::WireFault fault;
+
+    /** Test hook: after sending this many results, abruptly close the
+     *  connection (no goodbye) and exit kExitDiedOnPurpose — a
+     *  deterministic stand-in for SIGKILL mid-campaign.  0 = off. */
+    std::uint64_t dieAfterResults = 0;
+
+    /** Stream for per-cell progress lines; nullptr = silent. */
+    std::ostream *progress = nullptr;
+};
+
+struct WorkerStats
+{
+    std::uint64_t leasesAccepted = 0;
+    std::uint64_t resultsSent = 0;
+    unsigned reconnects = 0;
+    std::uint64_t faultsApplied = 0;
+
+    std::string summary() const;
+};
+
+/**
+ * Run the worker loop until the coordinator says goodbye (campaign
+ * complete), the connection is lost past the reconnect budget, or the
+ * dieAfterResults hook fires.  Returns one of the kExit* codes.
+ */
+int runWorker(const WorkerOptions &opt, WorkerStats *stats = nullptr);
+
+} // namespace tsoper::campaign
+
+#endif // TSOPER_CAMPAIGN_WORKER_HH

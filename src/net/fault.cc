@@ -1,0 +1,109 @@
+#include "net/fault.hh"
+
+#include <cstdlib>
+
+namespace tsoper::net
+{
+
+const char *
+toString(WireFault::Kind kind)
+{
+    switch (kind) {
+      case WireFault::Kind::None:     return "none";
+      case WireFault::Kind::Drop:     return "drop";
+      case WireFault::Kind::Dup:      return "dup";
+      case WireFault::Kind::Truncate: return "truncate";
+      case WireFault::Kind::Delay:    return "delay";
+    }
+    return "none";
+}
+
+bool
+parseWireFault(const std::string &spec, WireFault *out, std::string *err)
+{
+    const auto fail = [&](const std::string &why) {
+        if (err)
+            *err = "bad wire-fault spec '" + spec + "': " + why +
+                   " (expected drop|dup|truncate|delay:<seed>[:<rate>])";
+        return false;
+    };
+
+    const std::size_t colon = spec.find(':');
+    if (colon == std::string::npos)
+        return fail("missing ':<seed>'");
+    const std::string kind = spec.substr(0, colon);
+    WireFault fault;
+    if (kind == "drop")
+        fault.kind = WireFault::Kind::Drop;
+    else if (kind == "dup")
+        fault.kind = WireFault::Kind::Dup;
+    else if (kind == "truncate")
+        fault.kind = WireFault::Kind::Truncate;
+    else if (kind == "delay")
+        fault.kind = WireFault::Kind::Delay;
+    else
+        return fail("unknown kind '" + kind + "'");
+
+    const std::size_t colon2 = spec.find(':', colon + 1);
+    const std::string seedStr =
+        spec.substr(colon + 1, colon2 == std::string::npos
+                                   ? std::string::npos
+                                   : colon2 - colon - 1);
+    if (seedStr.empty())
+        return fail("empty seed");
+    for (char c : seedStr)
+        if (c < '0' || c > '9')
+            return fail("seed must be a non-negative integer");
+    fault.seed = std::strtoull(seedStr.c_str(), nullptr, 10);
+
+    if (colon2 != std::string::npos) {
+        const std::string rateStr = spec.substr(colon2 + 1);
+        char *end = nullptr;
+        const double rate = std::strtod(rateStr.c_str(), &end);
+        if (rateStr.empty() || *end != '\0' || rate < 0.0 || rate > 1.0)
+            return fail("rate must be a number in [0, 1]");
+        fault.rate = rate;
+    }
+    *out = fault;
+    return true;
+}
+
+FaultInjector::Action
+FaultInjector::decide()
+{
+    if (!fault_.enabled())
+        return Action::Pass;
+    const bool first = frames_ == 0 && fault_.guaranteeFirst;
+    ++frames_;
+    // With guaranteeFirst the first frame always faults (guaranteed
+    // trigger, see file comment); otherwise it is a seeded Bernoulli
+    // draw.
+    if (!first && !rng_.chance(fault_.rate))
+        return Action::Pass;
+    ++applied_;
+    switch (fault_.kind) {
+      case WireFault::Kind::Drop:     return Action::Drop;
+      case WireFault::Kind::Dup:      return Action::Dup;
+      case WireFault::Kind::Truncate: return Action::Truncate;
+      case WireFault::Kind::Delay:    return Action::Delay;
+      case WireFault::Kind::None:     break;
+    }
+    return Action::Pass;
+}
+
+std::int64_t
+FaultInjector::delayMs()
+{
+    return 200 + static_cast<std::int64_t>(rng_.below(600));
+}
+
+std::size_t
+FaultInjector::truncatedSize(std::size_t size)
+{
+    if (size <= 1)
+        return 1;
+    return 1 + static_cast<std::size_t>(
+                   rng_.below(static_cast<std::uint64_t>(size - 1)));
+}
+
+} // namespace tsoper::net

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Deterministic wire-fault injection for the campaign fabric.
+ *
+ * Every failover path in the coordinator/worker protocol — lease
+ * expiry after a lost result, reconnect after a torn frame, duplicate
+ * suppression — must be *exercised* in tests, not hoped-for.  A
+ * FaultInjector sits on a peer's send path and corrupts outgoing
+ * frames according to a seeded policy, so the same seed always faults
+ * the same frames:
+ *
+ *   drop      the frame is silently discarded
+ *   dup       the frame is sent twice back-to-back
+ *   truncate  a prefix of the frame is sent, then the connection is
+ *             closed (a torn frame must poison the stream, or the
+ *             receiver would misparse everything after it)
+ *   delay     the connection's send queue stalls for a few hundred ms
+ *             (late heartbeats, lease-expiry races)
+ *
+ * The spec string is `<kind>:<seed>[:<rate>]` (rate defaults to
+ * 0.25).  With guaranteeFirst set (the default, but only on a run's
+ * *first* connection — see Coordinator), the first eligible frame is
+ * always faulted, so a test that enables injection is guaranteed at
+ * least one application — the negative control cannot silently pass
+ * because the dice never came up.  Reconnections must NOT inherit the
+ * guarantee: a fault that kills the connection (truncate) would then
+ * replay on every reconnect and livelock the fabric instead of
+ * exercising its recovery.
+ */
+
+#ifndef TSOPER_NET_FAULT_HH
+#define TSOPER_NET_FAULT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/rng.hh"
+
+namespace tsoper::net
+{
+
+struct WireFault
+{
+    enum class Kind
+    {
+        None,
+        Drop,
+        Dup,
+        Truncate,
+        Delay,
+    };
+
+    Kind kind = Kind::None;
+    std::uint64_t seed = 0;
+    double rate = 0.25; ///< Per-frame fault probability after the 1st.
+
+    /** Always fault the first eligible frame (see file comment).
+     *  Cleared for reconnections by the fabric. */
+    bool guaranteeFirst = true;
+
+    bool enabled() const { return kind != Kind::None; }
+};
+
+/** Parse `drop|dup|truncate|delay:<seed>[:<rate>]` into @p out.
+ *  Returns false with a message in @p err on a malformed spec. */
+bool parseWireFault(const std::string &spec, WireFault *out,
+                    std::string *err);
+
+/** Human-readable kind name ("drop", ...; "none" when disabled). */
+const char *toString(WireFault::Kind kind);
+
+/** Per-connection injection state (see file comment). */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const WireFault &fault = {})
+        : fault_(fault), rng_(fault.seed)
+    {}
+
+    enum class Action
+    {
+        Pass,     ///< Send the frame unmodified.
+        Drop,
+        Dup,
+        Truncate,
+        Delay,
+    };
+
+    /** Decide the fate of the next outgoing frame. */
+    Action decide();
+
+    /** Stall duration for a Delay decision, milliseconds. */
+    std::int64_t delayMs();
+
+    /** How many bytes of an @p size -byte frame survive truncation
+     *  (at least 1, strictly less than @p size when size > 1). */
+    std::size_t truncatedSize(std::size_t size);
+
+    /** Frames faulted so far on this connection. */
+    std::uint64_t applied() const { return applied_; }
+
+    bool enabled() const { return fault_.enabled(); }
+
+  private:
+    WireFault fault_;
+    Rng rng_;
+    std::uint64_t frames_ = 0;
+    std::uint64_t applied_ = 0;
+};
+
+} // namespace tsoper::net
+
+#endif // TSOPER_NET_FAULT_HH

@@ -1,0 +1,68 @@
+#include "net/frame.hh"
+
+namespace tsoper::net
+{
+
+std::string
+encodeFrame(const std::string &payload)
+{
+    const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+    std::string out;
+    out.reserve(4 + payload.size());
+    out.push_back(static_cast<char>((n >> 24) & 0xff));
+    out.push_back(static_cast<char>((n >> 16) & 0xff));
+    out.push_back(static_cast<char>((n >> 8) & 0xff));
+    out.push_back(static_cast<char>(n & 0xff));
+    out += payload;
+    return out;
+}
+
+void
+FrameDecoder::feed(const char *data, std::size_t len)
+{
+    if (failed())
+        return;
+    // Compact lazily: only when the consumed prefix dominates, so a
+    // byte-at-a-time feed pattern stays O(n) amortized.
+    if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+    }
+    buf_.append(data, len);
+}
+
+FrameDecoder::Status
+FrameDecoder::next(std::string *payload)
+{
+    if (failed())
+        return Status::Error;
+    const std::size_t avail = buf_.size() - pos_;
+    if (avail < 4)
+        return Status::NeedMore;
+    const unsigned char *p =
+        reinterpret_cast<const unsigned char *>(buf_.data() + pos_);
+    const std::uint32_t n = (static_cast<std::uint32_t>(p[0]) << 24) |
+                            (static_cast<std::uint32_t>(p[1]) << 16) |
+                            (static_cast<std::uint32_t>(p[2]) << 8) |
+                            static_cast<std::uint32_t>(p[3]);
+    if (n == 0) {
+        error_ = "zero-length frame";
+        return Status::Error;
+    }
+    if (n > maxPayload_) {
+        error_ = "frame length " + std::to_string(n) +
+                 " exceeds cap " + std::to_string(maxPayload_);
+        return Status::Error;
+    }
+    if (avail < 4 + static_cast<std::size_t>(n))
+        return Status::NeedMore;
+    payload->assign(buf_, pos_ + 4, n);
+    pos_ += 4 + n;
+    if (pos_ == buf_.size()) {
+        buf_.clear();
+        pos_ = 0;
+    }
+    return Status::Frame;
+}
+
+} // namespace tsoper::net

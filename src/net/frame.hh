@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Length-prefixed message framing for the campaign wire protocol.
+ *
+ * A frame is a 4-byte big-endian payload length followed by that many
+ * payload bytes (JSON text at the protocol layer, but the framing is
+ * byte-agnostic).  The encoder is a pure function; the decoder is a
+ * streaming state machine fed arbitrary byte chunks — a TCP read can
+ * deliver half a length prefix, three frames and a tail all at once —
+ * that yields complete payloads in order.
+ *
+ * The decoder is the trust boundary of the distributed campaign
+ * fabric: a confused or malicious peer can send anything.  It
+ * therefore fails *closed*: a length above the configured cap or a
+ * zero-length frame flips the decoder into a sticky Error state with
+ * a diagnostic, and the owner is expected to drop the connection.  It
+ * never throws and never reads past the bytes it was fed (fuzzed in
+ * test_net_frame.cc).
+ */
+
+#ifndef TSOPER_NET_FRAME_HH
+#define TSOPER_NET_FRAME_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tsoper::net
+{
+
+/** Default payload cap: generous for campaign results (full stats
+ *  registries serialize well under a MiB), small enough that a
+ *  garbage length prefix cannot balloon the receive buffer. */
+inline constexpr std::size_t kMaxFramePayload = 64u << 20;
+
+/** Serialize @p payload as one frame (prefix + bytes). */
+std::string encodeFrame(const std::string &payload);
+
+class FrameDecoder
+{
+  public:
+    enum class Status
+    {
+        Frame,    ///< A complete payload was produced.
+        NeedMore, ///< No complete frame buffered yet.
+        Error,    ///< Protocol violation; sticky, drop the peer.
+    };
+
+    explicit FrameDecoder(std::size_t maxPayload = kMaxFramePayload)
+        : maxPayload_(maxPayload)
+    {}
+
+    /** Append @p len raw bytes from the wire. */
+    void feed(const char *data, std::size_t len);
+
+    /**
+     * Extract the next complete payload into @p payload.  Call in a
+     * loop after feed() until it stops returning Frame.  Once Error
+     * is returned every further call returns Error.
+     */
+    Status next(std::string *payload);
+
+    /** Diagnostic for the Error state. */
+    const std::string &error() const { return error_; }
+
+    /** True once a protocol violation was seen. */
+    bool failed() const { return !error_.empty(); }
+
+    /** Bytes buffered but not yet consumed (a non-zero value at
+     *  connection EOF means the final frame arrived torn). */
+    std::size_t pendingBytes() const { return buf_.size() - pos_; }
+
+  private:
+    std::size_t maxPayload_;
+    std::string buf_;
+    std::size_t pos_ = 0; ///< Consumed prefix of buf_.
+    std::string error_;
+};
+
+} // namespace tsoper::net
+
+#endif // TSOPER_NET_FRAME_HH

@@ -1,0 +1,96 @@
+#include "net/peer.hh"
+
+#include <cerrno>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace tsoper::net
+{
+
+void
+Peer::sendFrame(const std::string &payload, std::int64_t nowMs)
+{
+    if (poisoned_)
+        return; // the connection is already condemned
+    const std::string frame = encodeFrame(payload);
+    switch (injector_.decide()) {
+      case FaultInjector::Action::Pass:
+        sendBuf_ += frame;
+        break;
+      case FaultInjector::Action::Drop:
+        break;
+      case FaultInjector::Action::Dup:
+        sendBuf_ += frame;
+        sendBuf_ += frame;
+        break;
+      case FaultInjector::Action::Truncate:
+        sendBuf_.append(frame, 0, injector_.truncatedSize(frame.size()));
+        poisoned_ = true;
+        break;
+      case FaultInjector::Action::Delay:
+        sendBuf_ += frame;
+        stallUntilMs_ = nowMs + injector_.delayMs();
+        break;
+    }
+}
+
+bool
+Peer::wantWrite(std::int64_t nowMs) const
+{
+    return sendPos_ < sendBuf_.size() && nowMs >= stallUntilMs_;
+}
+
+bool
+Peer::pumpSend(std::int64_t nowMs)
+{
+    if (nowMs < stallUntilMs_)
+        return true;
+    while (sendPos_ < sendBuf_.size()) {
+        const ssize_t wrote =
+            ::send(fd_.get(), sendBuf_.data() + sendPos_,
+                   sendBuf_.size() - sendPos_, MSG_NOSIGNAL);
+        if (wrote > 0) {
+            sendPos_ += static_cast<std::size_t>(wrote);
+            continue;
+        }
+        if (wrote < 0 && errno == EINTR)
+            continue;
+        if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return true; // socket full; poll for POLLOUT
+        return false;    // EPIPE/ECONNRESET/...: peer is gone
+    }
+    sendBuf_.clear();
+    sendPos_ = 0;
+    // A truncate fault's partial frame has now hit the wire; kill the
+    // connection so the receiver sees a torn stream, not a desync.
+    return !poisoned_;
+}
+
+bool
+Peer::pumpRecv()
+{
+    char buf[16384];
+    for (;;) {
+        const ssize_t got = ::recv(fd_.get(), buf, sizeof(buf), 0);
+        if (got > 0) {
+            decoder_.feed(buf, static_cast<std::size_t>(got));
+            continue;
+        }
+        if (got == 0)
+            return false; // orderly EOF
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return true;
+        return false;
+    }
+}
+
+FrameDecoder::Status
+Peer::nextFrame(std::string *payload)
+{
+    return decoder_.next(payload);
+}
+
+} // namespace tsoper::net

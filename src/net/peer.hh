@@ -1,0 +1,96 @@
+/**
+ * @file
+ * One framed-message TCP peer: nonblocking socket + send/receive
+ * buffers + the streaming frame decoder + optional wire-fault
+ * injection on the send path.
+ *
+ * Usage pattern (both coordinator and worker follow it):
+ *
+ *   peer.sendFrame(json.dump(), now);       // queue, never blocks
+ *   poll(fd, POLLIN | (peer.wantWrite(now) ? POLLOUT : 0));
+ *   if (!peer.pumpRecv()) dropPeer();       // EOF / error
+ *   while (peer.nextFrame(&payload) == Frame) handle(payload);
+ *   if (peer.failed()) dropPeer();          // framing violation
+ *   if (!peer.pumpSend(now)) dropPeer();
+ *
+ * A Peer owns its fd and is move-only.  It never throws; every
+ * failure mode collapses to "drop the connection", which the
+ * protocol layer above treats as worker/coordinator death and
+ * recovers from (lease reassignment, reconnect with backoff).
+ */
+
+#ifndef TSOPER_NET_PEER_HH
+#define TSOPER_NET_PEER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "net/fault.hh"
+#include "net/frame.hh"
+#include "net/socket.hh"
+
+namespace tsoper::net
+{
+
+class Peer
+{
+  public:
+    Peer() = default;
+    explicit Peer(Fd fd, const WireFault &fault = {},
+                  std::size_t maxPayload = kMaxFramePayload)
+        : fd_(std::move(fd)), decoder_(maxPayload), injector_(fault)
+    {}
+
+    bool valid() const { return fd_.valid(); }
+    int fd() const { return fd_.get(); }
+
+    /**
+     * Queue @p payload as one frame.  With fault injection enabled
+     * the frame may be dropped, duplicated or truncated here, or the
+     * whole send queue stalled until a deadline — see net/fault.hh.
+     * A truncating fault poisons the connection: once the mangled
+     * bytes flush, pumpSend reports failure so the owner drops it.
+     */
+    void sendFrame(const std::string &payload, std::int64_t nowMs);
+
+    /** True when buffered bytes are ready to write at @p nowMs (a
+     *  delay fault can hold them back). */
+    bool wantWrite(std::int64_t nowMs) const;
+
+    /** Flush as much of the send buffer as the socket accepts.
+     *  Returns false on a fatal socket error or once a poisoning
+     *  truncate fault has fully flushed. */
+    bool pumpSend(std::int64_t nowMs);
+
+    /** Read whatever the socket has into the decoder.  Returns false
+     *  on EOF or a fatal socket error. */
+    bool pumpRecv();
+
+    /** Next complete frame payload (see FrameDecoder::next). */
+    FrameDecoder::Status nextFrame(std::string *payload);
+
+    /** The peer violated framing (oversized/zero-length frame). */
+    bool failed() const { return decoder_.failed(); }
+    const std::string &error() const { return decoder_.error(); }
+
+    /** Frames faulted on this connection's send path. */
+    std::uint64_t faultsApplied() const { return injector_.applied(); }
+
+    /** Bytes queued but not yet written. */
+    std::size_t sendBacklog() const { return sendBuf_.size() - sendPos_; }
+
+    void close() { fd_.reset(); }
+
+  private:
+    Fd fd_;
+    FrameDecoder decoder_;
+    FaultInjector injector_;
+    std::string sendBuf_;
+    std::size_t sendPos_ = 0;
+    std::int64_t stallUntilMs_ = 0; ///< Delay-fault send stall.
+    bool poisoned_ = false;         ///< Truncate fault pending close.
+};
+
+} // namespace tsoper::net
+
+#endif // TSOPER_NET_PEER_HH

@@ -1,0 +1,219 @@
+#include "net/socket.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace tsoper::net
+{
+
+namespace
+{
+
+bool
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void
+setNoDelay(int fd)
+{
+    // Lease/heartbeat frames are small and latency-sensitive; a
+    // failed setsockopt only costs latency, so best-effort.
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+} // namespace
+
+void
+Fd::reset()
+{
+    if (fd_ >= 0) {
+        int rc;
+        do {
+            rc = ::close(fd_);
+        } while (rc < 0 && errno == EINTR);
+        fd_ = -1;
+    }
+}
+
+Fd
+listenTcp(std::uint16_t port, std::uint16_t *boundPort, std::string *err)
+{
+    const auto fail = [&](const std::string &what) {
+        if (err)
+            *err = what + ": " + std::strerror(errno);
+        return Fd();
+    };
+
+    // CLOEXEC everywhere: the campaign fabric fork+execs workers and
+    // simulator subprocesses, and a listening socket leaking into a
+    // child keeps the port alive after the coordinator closes it — a
+    // reconnecting worker would then connect to a backlog nobody
+    // accepts and hang forever.
+    Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid())
+        return fail("socket");
+    int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(port);
+    if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        return fail("bind port " + std::to_string(port));
+    if (::listen(fd.get(), 64) != 0)
+        return fail("listen");
+    if (!setNonBlocking(fd.get()))
+        return fail("fcntl(O_NONBLOCK)");
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0)
+        return fail("getsockname");
+    if (boundPort)
+        *boundPort = ntohs(addr.sin_port);
+    return fd;
+}
+
+Fd
+acceptTcp(int listenFd)
+{
+    for (;;) {
+        const int fd = ::accept4(listenFd, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd >= 0) {
+            Fd out(fd);
+            setNoDelay(fd);
+            return out;
+        }
+        if (errno == EINTR)
+            continue;
+        return Fd(); // EAGAIN or a transient accept error: try later
+    }
+}
+
+Fd
+connectTcp(const std::string &host, std::uint16_t port, int timeoutMs,
+           std::string *err)
+{
+    const auto fail = [&](const std::string &what) {
+        if (err)
+            *err = "connect " + host + ":" + std::to_string(port) +
+                   ": " + what;
+        return Fd();
+    };
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        addrinfo hints{};
+        hints.ai_family = AF_INET;
+        hints.ai_socktype = SOCK_STREAM;
+        addrinfo *res = nullptr;
+        if (::getaddrinfo(host.c_str(), nullptr, &hints, &res) != 0 ||
+            !res)
+            return fail("cannot resolve host");
+        addr.sin_addr =
+            reinterpret_cast<sockaddr_in *>(res->ai_addr)->sin_addr;
+        ::freeaddrinfo(res);
+    }
+
+    Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid())
+        return fail(std::strerror(errno));
+    if (!setNonBlocking(fd.get()))
+        return fail("fcntl(O_NONBLOCK)");
+
+    int rc = ::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS && errno != EINTR)
+        return fail(std::strerror(errno));
+    if (rc != 0) {
+        struct pollfd pfd{fd.get(), POLLOUT, 0};
+        do {
+            rc = ::poll(&pfd, 1, timeoutMs);
+        } while (rc < 0 && errno == EINTR);
+        if (rc == 0)
+            return fail("timed out after " + std::to_string(timeoutMs) +
+                        " ms");
+        if (rc < 0)
+            return fail(std::strerror(errno));
+        int soErr = 0;
+        socklen_t len = sizeof(soErr);
+        if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &soErr,
+                         &len) != 0 ||
+            soErr != 0)
+            return fail(std::strerror(soErr ? soErr : errno));
+    }
+    setNoDelay(fd.get());
+    return fd;
+}
+
+bool
+makeWakePipe(Fd *readFd, Fd *writeFd, std::string *err)
+{
+    int fds[2];
+    if (::pipe2(fds, O_CLOEXEC) != 0) {
+        if (err)
+            *err = std::string("pipe: ") + std::strerror(errno);
+        return false;
+    }
+    *readFd = Fd(fds[0]);
+    *writeFd = Fd(fds[1]);
+    if (!setNonBlocking(fds[0]) || !setNonBlocking(fds[1])) {
+        if (err)
+            *err = std::string("fcntl: ") + std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+void
+wake(int writeFd)
+{
+    const char byte = 0;
+    ssize_t rc;
+    do {
+        rc = ::write(writeFd, &byte, 1);
+    } while (rc < 0 && errno == EINTR);
+}
+
+std::int64_t
+monotonicMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+drainWake(int readFd)
+{
+    char buf[64];
+    for (;;) {
+        const ssize_t rc = ::read(readFd, buf, sizeof(buf));
+        if (rc > 0)
+            continue;
+        if (rc < 0 && errno == EINTR)
+            continue;
+        break;
+    }
+}
+
+} // namespace tsoper::net

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Thin POSIX TCP helpers for the campaign fabric: an owning fd
+ * wrapper plus nonblocking listen/accept/connect.  Everything here is
+ * EINTR-safe and never throws; failures come back as -1/false with a
+ * strerror-derived message so callers can classify and retry.
+ *
+ * The fabric deliberately stays on plain poll(2) rather than epoll: a
+ * coordinator talks to tens of workers, not tens of thousands of
+ * clients, and poll keeps the code portable and obviously correct.
+ */
+
+#ifndef TSOPER_NET_SOCKET_HH
+#define TSOPER_NET_SOCKET_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace tsoper::net
+{
+
+/** Owning file descriptor (move-only). */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : fd_(fd) {}
+    ~Fd() { reset(); }
+
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+    Fd(Fd &&o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+    Fd &
+    operator=(Fd &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            fd_ = std::exchange(o.fd_, -1);
+        }
+        return *this;
+    }
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+    int release() { return std::exchange(fd_, -1); }
+    void reset();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Bind and listen on TCP @p port (0 = kernel-assigned ephemeral
+ * port), SO_REUSEADDR, nonblocking.  On success stores the actual
+ * port in @p boundPort.  Returns an invalid Fd with a message in
+ * @p err on failure.
+ */
+Fd listenTcp(std::uint16_t port, std::uint16_t *boundPort,
+             std::string *err);
+
+/** Accept one pending connection from nonblocking @p listenFd; the
+ *  accepted socket is nonblocking with TCP_NODELAY.  Returns an
+ *  invalid Fd when nothing is pending (not an error). */
+Fd acceptTcp(int listenFd);
+
+/**
+ * Connect to @p host : @p port with a @p timeoutMs budget (numeric
+ * IPv4 or a resolvable name).  The returned socket is nonblocking
+ * with TCP_NODELAY.  Returns an invalid Fd with a message in @p err
+ * on failure or timeout.
+ */
+Fd connectTcp(const std::string &host, std::uint16_t port,
+              int timeoutMs, std::string *err);
+
+/** Create a nonblocking self-wake pipe (read end in @p readFd, write
+ *  end in @p writeFd); false with a message in @p err on failure. */
+bool makeWakePipe(Fd *readFd, Fd *writeFd, std::string *err);
+
+/** Write one byte to a wake pipe (best-effort, never blocks). */
+void wake(int writeFd);
+
+/** Monotonic milliseconds (steady_clock) — the fabric's one clock
+ *  for heartbeats, lease ages and fault-delay deadlines. */
+std::int64_t monotonicMs();
+
+/** Drain a wake pipe's read end (best-effort, never blocks). */
+void drainWake(int readFd);
+
+} // namespace tsoper::net
+
+#endif // TSOPER_NET_SOCKET_HH

@@ -1,0 +1,532 @@
+/** @file End-to-end tests for the distributed campaign fabric:
+ *  coordinator + in-process workers over loopback TCP.  The contract
+ *  under test is the ledger invariant — every cell ends done exactly
+ *  once, and the merged report is canonically byte-identical to a
+ *  local thread-pool run — no matter which workers die, talk garbage,
+ *  or straggle. */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "campaign/coordinator.hh"
+#include "campaign/journal.hh"
+#include "campaign/report.hh"
+#include "campaign/runner.hh"
+#include "campaign/wire.hh"
+#include "campaign/worker.hh"
+#include "net/frame.hh"
+#include "net/socket.hh"
+
+using namespace tsoper;
+using namespace tsoper::campaign;
+
+namespace
+{
+
+std::vector<RunRequest>
+makeCells(std::size_t n)
+{
+    std::vector<RunRequest> cells;
+    for (std::size_t i = 0; i < n; ++i) {
+        RunRequest r;
+        r.id = "net/cell" + std::to_string(i);
+        r.seed = i + 1;
+        cells.push_back(r);
+    }
+    return cells;
+}
+
+/** Deterministic fake executor: the result is a pure function of the
+ *  request, so local and distributed runs must agree byte-for-byte. */
+RunResult
+fakeRun(const RunRequest &r)
+{
+    RunResult res;
+    res.status = RunStatus::Ok;
+    res.cycles = r.seed * 1000;
+    res.ops = r.seed * 10;
+    res.stores = r.seed * 3;
+    res.stats = Json::object().set("seed", r.seed);
+    return res;
+}
+
+RunnerOptions
+fakeRunner(unsigned jobs = 2)
+{
+    RunnerOptions opt;
+    opt.jobs = jobs;
+    opt.timeout = std::chrono::milliseconds(10'000);
+    opt.retries = 0;
+    opt.backoffBaseMs = 0;
+    opt.cellFn = fakeRun;
+    return opt;
+}
+
+CampaignReport
+localReport(const std::vector<RunRequest> &cells)
+{
+    return runCampaign("netcamp", cells, fakeRunner());
+}
+
+std::string
+canonical(const CampaignReport &report)
+{
+    return canonicalReportJson(report).dump(2);
+}
+
+WorkerOptions
+makeWorker(std::uint16_t port, const std::string &name,
+           unsigned jobs = 1)
+{
+    WorkerOptions opt;
+    opt.port = port;
+    opt.name = name;
+    opt.jobs = jobs;
+    opt.heartbeatMs = 200;
+    opt.connectAttempts = 10;
+    opt.backoffBaseMs = 20;
+    opt.backoffMaxMs = 200;
+    opt.runner = fakeRunner(jobs);
+    return opt;
+}
+
+CoordinatorOptions
+makeCoordinator()
+{
+    CoordinatorOptions opt;
+    opt.runner = fakeRunner();
+    opt.heartbeatTimeoutMs = 1'000;
+    opt.stragglerMs = 0;  // off unless a test wants it
+    opt.graceMs = 8'000;  // fallback is a hang safety net, not a path
+    return opt;
+}
+
+/** Drive a coordinator on its own thread; workers run as callers
+ *  choose; run() result is collected for the caller. */
+struct CoordinatorRun
+{
+    explicit CoordinatorRun(CoordinatorOptions opt)
+        : coord(std::move(opt))
+    {
+        std::string err;
+        listened = coord.listen(&err);
+        EXPECT_TRUE(listened) << err;
+    }
+
+    void
+    start(const std::vector<RunRequest> &cells)
+    {
+        thread = std::thread([this, cells] {
+            report = coord.run("netcamp", cells);
+        });
+    }
+
+    void
+    join()
+    {
+        if (thread.joinable())
+            thread.join();
+    }
+
+    ~CoordinatorRun() { join(); }
+
+    Coordinator coord;
+    CampaignReport report;
+    std::thread thread;
+    bool listened = false;
+};
+
+} // namespace
+
+// --- Happy path -------------------------------------------------------
+
+TEST(NetCampaign, DistributedMatchesLocalCanonically)
+{
+    const auto cells = makeCells(6);
+    const CampaignReport local = localReport(cells);
+
+    CoordinatorRun run(makeCoordinator());
+    ASSERT_TRUE(run.listened);
+    run.start(cells);
+
+    std::thread w1([&] {
+        EXPECT_EQ(runWorker(makeWorker(run.coord.port(), "w1", 2)),
+                  kExitWorkerOk);
+    });
+    std::thread w2([&] {
+        EXPECT_EQ(runWorker(makeWorker(run.coord.port(), "w2", 2)),
+                  kExitWorkerOk);
+    });
+    w1.join();
+    w2.join();
+    run.join();
+
+    ASSERT_EQ(run.report.cells.size(), cells.size());
+    EXPECT_TRUE(run.report.allOk());
+    EXPECT_FALSE(run.coord.stats().usedLocalFallback);
+    EXPECT_EQ(run.coord.stats().workersSeen, 2u);
+    EXPECT_EQ(canonical(run.report), canonical(local));
+}
+
+// --- Failover ---------------------------------------------------------
+
+TEST(NetCampaign, DeadWorkerLeasesFailOverToSurvivor)
+{
+    const auto cells = makeCells(8);
+    const CampaignReport local = localReport(cells);
+
+    CoordinatorRun run(makeCoordinator());
+    ASSERT_TRUE(run.listened);
+    run.start(cells);
+
+    // One worker hard-exits after its first result — the in-process
+    // stand-in for SIGKILL mid-campaign (no goodbye, just EOF).
+    std::thread dying([&] {
+        WorkerOptions opt = makeWorker(run.coord.port(), "dying");
+        opt.dieAfterResults = 1;
+        EXPECT_EQ(runWorker(opt), kExitDiedOnPurpose);
+    });
+    std::thread survivor([&] {
+        EXPECT_EQ(runWorker(makeWorker(run.coord.port(), "survivor")),
+                  kExitWorkerOk);
+    });
+    dying.join();
+    survivor.join();
+    run.join();
+
+    // Every cell done exactly once, report indistinguishable from an
+    // uneventful local run.
+    ASSERT_EQ(run.report.cells.size(), cells.size());
+    EXPECT_TRUE(run.report.allOk());
+    EXPECT_GE(run.coord.stats().deadWorkers, 1u);
+    EXPECT_EQ(canonical(run.report), canonical(local));
+}
+
+TEST(NetCampaign, StragglerCellIsReleasedToIdleWorker)
+{
+    const auto cells = makeCells(4);
+
+    CoordinatorOptions copt = makeCoordinator();
+    copt.stragglerMs = 100;
+    // The slow cell stalls one worker; once the queue drains the
+    // coordinator must duplicate its lease onto the idle worker.
+    copt.runner.cellFn = [](const RunRequest &r) {
+        if (r.id == "net/cell0")
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(900));
+        return fakeRun(r);
+    };
+    CoordinatorRun run(copt);
+    ASSERT_TRUE(run.listened);
+    run.start(cells);
+
+    const auto workerFn = [&](const char *name) {
+        WorkerOptions opt = makeWorker(run.coord.port(), name);
+        opt.runner.cellFn = copt.runner.cellFn;
+        runWorker(opt);
+    };
+    std::thread w1(workerFn, "w1");
+    std::thread w2(workerFn, "w2");
+    w1.join();
+    w2.join();
+    run.join();
+
+    ASSERT_EQ(run.report.cells.size(), cells.size());
+    EXPECT_TRUE(run.report.allOk());
+    EXPECT_GE(run.coord.stats().stragglerLeases, 1u);
+}
+
+// --- Hostile peers ----------------------------------------------------
+
+TEST(NetCampaign, GarbagePeerIsDroppedAndCampaignCompletes)
+{
+    const auto cells = makeCells(4);
+    const CampaignReport local = localReport(cells);
+
+    CoordinatorRun run(makeCoordinator());
+    ASSERT_TRUE(run.listened);
+    run.start(cells);
+
+    // A peer that speaks raw garbage: an oversized length prefix must
+    // flip the decoder into its sticky error and cost the peer the
+    // connection — nothing else.
+    std::string connErr;
+    net::Fd garbage = net::connectTcp("127.0.0.1", run.coord.port(),
+                                      2'000, &connErr);
+    ASSERT_TRUE(garbage.valid()) << connErr;
+    const char junk[] = "\xff\xff\xff\xff garbage bytes";
+    ASSERT_GT(::write(garbage.get(), junk, sizeof(junk) - 1), 0);
+
+    // Give the coordinator a tick to process the violation while the
+    // real worker does the actual campaign.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    std::thread w1([&] {
+        EXPECT_EQ(runWorker(makeWorker(run.coord.port(), "w1", 2)),
+                  kExitWorkerOk);
+    });
+    w1.join();
+    run.join();
+    garbage.reset();
+
+    ASSERT_EQ(run.report.cells.size(), cells.size());
+    EXPECT_TRUE(run.report.allOk());
+    EXPECT_GE(run.coord.stats().droppedPeers, 1u);
+    EXPECT_EQ(canonical(run.report), canonical(local));
+}
+
+TEST(NetCampaign, ProtoMismatchAnsweredWithGoodbye)
+{
+    const auto cells = makeCells(2);
+
+    CoordinatorRun run(makeCoordinator());
+    ASSERT_TRUE(run.listened);
+    run.start(cells);
+
+    // Speak the framing correctly but claim a future protocol: the
+    // coordinator must answer goodbye and hang up, not grant leases.
+    std::string connErr;
+    net::Fd fd = net::connectTcp("127.0.0.1", run.coord.port(), 2'000,
+                                 &connErr);
+    ASSERT_TRUE(fd.valid()) << connErr;
+    Json hello = wire::hello("time-traveller", 1);
+    hello.set("proto", 99);
+    const std::string frame = net::encodeFrame(hello.dump());
+    ASSERT_EQ(::write(fd.get(), frame.data(), frame.size()),
+              static_cast<ssize_t>(frame.size()));
+
+    net::FrameDecoder dec;
+    std::string goodbyeType;
+    const std::int64_t deadline = net::monotonicMs() + 5'000;
+    while (goodbyeType.empty() && net::monotonicMs() < deadline) {
+        struct pollfd pfd{fd.get(), POLLIN, 0};
+        if (::poll(&pfd, 1, 100) <= 0)
+            continue;
+        char buf[512];
+        const ssize_t got = ::read(fd.get(), buf, sizeof(buf));
+        if (got <= 0)
+            break;
+        dec.feed(buf, static_cast<std::size_t>(got));
+        std::string payload;
+        while (dec.next(&payload) == net::FrameDecoder::Status::Frame) {
+            Json msg;
+            std::string type;
+            ASSERT_TRUE(wire::parseMessage(payload, &msg, &type));
+            goodbyeType = type;
+        }
+    }
+    EXPECT_EQ(goodbyeType, "goodbye");
+    fd.reset();
+
+    // The campaign itself still completes on a conforming worker.
+    std::thread w1([&] {
+        runWorker(makeWorker(run.coord.port(), "w1", 2));
+    });
+    w1.join();
+    run.join();
+    ASSERT_EQ(run.report.cells.size(), cells.size());
+    EXPECT_TRUE(run.report.allOk());
+}
+
+// --- Degradation ------------------------------------------------------
+
+TEST(NetCampaign, NoWorkersDegradesToLocalRunner)
+{
+    const auto cells = makeCells(3);
+    const CampaignReport local = localReport(cells);
+
+    CoordinatorOptions copt = makeCoordinator();
+    copt.graceMs = 150;
+    CoordinatorRun run(copt);
+    ASSERT_TRUE(run.listened);
+    run.start(cells);
+    run.join();
+
+    ASSERT_EQ(run.report.cells.size(), cells.size());
+    EXPECT_TRUE(run.report.allOk());
+    EXPECT_TRUE(run.coord.stats().usedLocalFallback);
+    EXPECT_EQ(canonical(run.report), canonical(local));
+}
+
+// --- Resume across coordinator restarts -------------------------------
+
+TEST(NetCampaign, ResumeSkipsJournaledCellsAcrossRestart)
+{
+    const auto cells = makeCells(6);
+    const CampaignReport local = localReport(cells);
+    const std::string path =
+        ::testing::TempDir() + "tsoper_net_resume.jsonl";
+    std::string err;
+
+    // First "coordinator incarnation": journal half the campaign,
+    // then die (simulated by just closing the journal).
+    {
+        CampaignJournal journal;
+        ASSERT_TRUE(journal.open(path, "netcamp", /*truncate=*/true,
+                                 &err))
+            << err;
+        RunnerOptions half = fakeRunner();
+        half.journal = &journal;
+        const std::vector<RunRequest> firstHalf(cells.begin(),
+                                                cells.begin() + 3);
+        runCampaign("netcamp", firstHalf, half);
+    }
+
+    JournalIndex index;
+    std::string warn;
+    ASSERT_TRUE(loadJournal(path, &index, &err, &warn)) << err;
+    EXPECT_TRUE(warn.empty()) << warn;
+    ASSERT_EQ(index.cells.size(), 3u);
+
+    // Restarted coordinator: journaled cells are done before any
+    // lease goes out; the worker only sees the other half.
+    CoordinatorOptions copt = makeCoordinator();
+    copt.runner.resumeFrom = &index;
+    CoordinatorRun run(copt);
+    ASSERT_TRUE(run.listened);
+    run.start(cells);
+    std::thread w1([&] {
+        EXPECT_EQ(runWorker(makeWorker(run.coord.port(), "w1", 2)),
+                  kExitWorkerOk);
+    });
+    w1.join();
+    run.join();
+
+    ASSERT_EQ(run.report.cells.size(), cells.size());
+    EXPECT_TRUE(run.report.allOk());
+    EXPECT_EQ(run.report.resumedCount(), 3u);
+    EXPECT_LE(run.coord.stats().leasesGranted, 3u);
+    EXPECT_EQ(canonical(run.report), canonical(local));
+    std::remove(path.c_str());
+}
+
+// --- Journal robustness (satellite: torn-tail tolerance) --------------
+
+namespace
+{
+
+CellReport
+doneCell(const std::string &id)
+{
+    CellReport cell;
+    cell.request.id = id;
+    cell.result = fakeRun(cell.request);
+    return cell;
+}
+
+} // namespace
+
+TEST(NetCampaign, TornFinalJournalLineToleratedAtEveryByteOffset)
+{
+    const std::string path =
+        ::testing::TempDir() + "tsoper_net_torn.jsonl";
+    std::string err;
+
+    {
+        CampaignJournal journal;
+        ASSERT_TRUE(journal.open(path, "torn", /*truncate=*/true,
+                                 &err))
+            << err;
+        journal.append(doneCell("keep0"));
+        journal.append(doneCell("keep1"));
+        journal.append(doneCell("torn"));
+    }
+
+    std::string full;
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        full = buf.str();
+    }
+    // Start of the final record: the byte after the second-to-last
+    // newline (the file ends with one).
+    ASSERT_FALSE(full.empty());
+    ASSERT_EQ(full.back(), '\n');
+    const std::size_t lastStart =
+        full.rfind('\n', full.size() - 2) + 1;
+    const std::size_t lastLen = full.size() - lastStart;
+    ASSERT_GT(lastLen, 2u);
+
+    // A writer can die after any byte of the final append.  Whatever
+    // the cut, the journal must load and keep the intact prefix.  Two
+    // cuts are special: +0 ends cleanly on the previous newline (no
+    // warning, nothing torn) and +lastLen-1 severs only the trailing
+    // newline, leaving a complete third record.
+    for (std::size_t cut = 0; cut < lastLen; ++cut) {
+        {
+            std::ofstream out(path,
+                              std::ios::binary | std::ios::trunc);
+            out.write(full.data(), static_cast<std::streamsize>(
+                                       lastStart + cut));
+        }
+        JournalIndex index;
+        std::string warn;
+        ASSERT_TRUE(loadJournal(path, &index, &err, &warn))
+            << "cut at +" << cut << ": " << err;
+        EXPECT_TRUE(index.cells.count("keep0"));
+        EXPECT_TRUE(index.cells.count("keep1"));
+        if (cut == 0) {
+            EXPECT_EQ(index.cells.size(), 2u);
+            EXPECT_TRUE(warn.empty()) << warn; // clean end-of-file
+        } else if (cut == lastLen - 1) {
+            EXPECT_EQ(index.cells.size(), 3u); // record is whole
+            EXPECT_TRUE(warn.empty()) << warn;
+        } else {
+            EXPECT_EQ(index.cells.size(), 2u) << "cut at +" << cut;
+            EXPECT_NE(warn.find("torn"), std::string::npos)
+                << "cut at +" << cut << ": no warning";
+        }
+    }
+
+    // The untruncated journal still loads all three, silently.
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(full.data(),
+                  static_cast<std::streamsize>(full.size()));
+    }
+    JournalIndex index;
+    std::string warn;
+    ASSERT_TRUE(loadJournal(path, &index, &err, &warn)) << err;
+    EXPECT_TRUE(warn.empty()) << warn;
+    EXPECT_EQ(index.cells.size(), 3u);
+    std::remove(path.c_str());
+}
+
+TEST(NetCampaign, AuxRecordsSkippedOnLoadAndRequireEventTag)
+{
+    const std::string path =
+        ::testing::TempDir() + "tsoper_net_aux.jsonl";
+    std::string err;
+
+    CampaignJournal journal;
+    ASSERT_TRUE(journal.open(path, "aux", /*truncate=*/true, &err))
+        << err;
+    journal.appendAux(
+        Json::object().set("event", "worker").set("name", "w1"));
+    journal.append(doneCell("real"));
+    journal.appendAux(
+        Json::object().set("event", "lease").set("cell", "real"));
+    // No "event" member: refused, so it cannot masquerade as a cell
+    // record in the resume index.
+    journal.appendAux(Json::object().set("id", "impostor"));
+    journal.close();
+
+    JournalIndex index;
+    std::string warn;
+    ASSERT_TRUE(loadJournal(path, &index, &err, &warn)) << err;
+    EXPECT_TRUE(warn.empty()) << warn;
+    EXPECT_EQ(index.cells.size(), 1u);
+    EXPECT_TRUE(index.cells.count("real"));
+    EXPECT_FALSE(index.cells.count("impostor"));
+    std::remove(path.c_str());
+}

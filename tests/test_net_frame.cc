@@ -1,0 +1,313 @@
+/** @file Tests for the net/ framed-message layer: encode/decode round
+ *  trips, the decoder's fail-closed behaviour on malformed input, a
+ *  seeded fuzz pass, and the deterministic wire-fault injector. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/fault.hh"
+#include "net/frame.hh"
+#include "sim/rng.hh"
+
+using namespace tsoper;
+using namespace tsoper::net;
+
+namespace
+{
+
+std::string
+decodeAll(FrameDecoder &dec, std::vector<std::string> *out)
+{
+    std::string payload;
+    while (dec.next(&payload) == FrameDecoder::Status::Frame)
+        out->push_back(payload);
+    return dec.failed() ? dec.error() : "";
+}
+
+} // namespace
+
+// --- Round trips ------------------------------------------------------
+
+TEST(NetFrame, RoundTripSingle)
+{
+    const std::string msg = "{\"type\":\"hello\"}";
+    const std::string wire = encodeFrame(msg);
+    EXPECT_EQ(wire.size(), msg.size() + 4);
+
+    FrameDecoder dec;
+    dec.feed(wire.data(), wire.size());
+    std::vector<std::string> frames;
+    EXPECT_EQ(decodeAll(dec, &frames), "");
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0], msg);
+    EXPECT_EQ(dec.pendingBytes(), 0u);
+}
+
+TEST(NetFrame, RoundTripManyCoalesced)
+{
+    // Several frames arriving in one TCP segment must all come out.
+    std::string wire;
+    std::vector<std::string> sent;
+    for (int i = 0; i < 20; ++i) {
+        sent.push_back("payload-" + std::to_string(i) +
+                       std::string(static_cast<std::size_t>(i) * 17,
+                                   'x'));
+        wire += encodeFrame(sent.back());
+    }
+    FrameDecoder dec;
+    dec.feed(wire.data(), wire.size());
+    std::vector<std::string> got;
+    EXPECT_EQ(decodeAll(dec, &got), "");
+    EXPECT_EQ(got, sent);
+}
+
+TEST(NetFrame, RoundTripByteAtATime)
+{
+    // Worst-case fragmentation: one byte per feed().
+    const std::string msg(300, 'z');
+    const std::string wire = encodeFrame(msg);
+    FrameDecoder dec;
+    std::vector<std::string> got;
+    for (char c : wire) {
+        dec.feed(&c, 1);
+        decodeAll(dec, &got);
+        EXPECT_FALSE(dec.failed());
+    }
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], msg);
+}
+
+TEST(NetFrame, IncompleteFrameNeedsMore)
+{
+    const std::string wire = encodeFrame("abcdef");
+    FrameDecoder dec;
+    dec.feed(wire.data(), wire.size() - 1); // hold back the last byte
+    std::string payload;
+    EXPECT_EQ(dec.next(&payload), FrameDecoder::Status::NeedMore);
+    EXPECT_FALSE(dec.failed());
+    dec.feed(wire.data() + wire.size() - 1, 1);
+    EXPECT_EQ(dec.next(&payload), FrameDecoder::Status::Frame);
+    EXPECT_EQ(payload, "abcdef");
+}
+
+// --- Fail-closed on malformed input -----------------------------------
+
+TEST(NetFrame, ZeroLengthFrameIsError)
+{
+    const char zeros[4] = {0, 0, 0, 0};
+    FrameDecoder dec;
+    dec.feed(zeros, 4);
+    std::string payload;
+    EXPECT_EQ(dec.next(&payload), FrameDecoder::Status::Error);
+    EXPECT_TRUE(dec.failed());
+    EXPECT_NE(dec.error().find("zero-length"), std::string::npos);
+}
+
+TEST(NetFrame, OversizedFrameIsError)
+{
+    // Length prefix far beyond the cap: the decoder must refuse
+    // without ever allocating the claimed amount.
+    const unsigned char huge[4] = {0xff, 0xff, 0xff, 0xff};
+    FrameDecoder dec(1 << 20);
+    dec.feed(reinterpret_cast<const char *>(huge), 4);
+    std::string payload;
+    EXPECT_EQ(dec.next(&payload), FrameDecoder::Status::Error);
+    EXPECT_TRUE(dec.failed());
+}
+
+TEST(NetFrame, ErrorIsSticky)
+{
+    const char zeros[4] = {0, 0, 0, 0};
+    FrameDecoder dec;
+    dec.feed(zeros, 4);
+    std::string payload;
+    EXPECT_EQ(dec.next(&payload), FrameDecoder::Status::Error);
+    // A valid frame after the violation must not resurrect the
+    // stream: framing is unrecoverable once desynced.
+    const std::string wire = encodeFrame("ok");
+    dec.feed(wire.data(), wire.size());
+    EXPECT_EQ(dec.next(&payload), FrameDecoder::Status::Error);
+}
+
+TEST(NetFrame, PayloadAtCapIsAccepted)
+{
+    FrameDecoder dec(64);
+    const std::string msg(64, 'a');
+    const std::string wire = encodeFrame(msg);
+    dec.feed(wire.data(), wire.size());
+    std::string payload;
+    EXPECT_EQ(dec.next(&payload), FrameDecoder::Status::Frame);
+    EXPECT_EQ(payload, msg);
+
+    FrameDecoder dec2(64);
+    const std::string over = encodeFrame(std::string(65, 'a'));
+    dec2.feed(over.data(), over.size());
+    EXPECT_EQ(dec2.next(&payload), FrameDecoder::Status::Error);
+}
+
+// --- Fuzz -------------------------------------------------------------
+
+TEST(NetFrame, FuzzRandomGarbageNeverCrashes)
+{
+    // Arbitrary bytes must always resolve to frames, NeedMore, or a
+    // sticky error — never a crash or unbounded allocation.
+    Rng rng(0xfeedface);
+    for (int round = 0; round < 200; ++round) {
+        FrameDecoder dec(4096);
+        std::string buf;
+        const std::size_t len = 1 + rng.below(512);
+        for (std::size_t i = 0; i < len; ++i)
+            buf.push_back(static_cast<char>(rng.below(256)));
+        std::size_t pos = 0;
+        while (pos < buf.size()) {
+            const std::size_t chunk =
+                std::min<std::size_t>(1 + rng.below(64),
+                                      buf.size() - pos);
+            dec.feed(buf.data() + pos, chunk);
+            pos += chunk;
+            std::string payload;
+            while (dec.next(&payload) == FrameDecoder::Status::Frame)
+                EXPECT_LE(payload.size(), 4096u);
+            if (dec.failed())
+                break;
+        }
+    }
+}
+
+TEST(NetFrame, FuzzValidStreamRandomSplits)
+{
+    // A valid frame stream chopped at random boundaries must always
+    // reassemble to exactly the sent frames.
+    Rng rng(42);
+    for (int round = 0; round < 50; ++round) {
+        std::string wire;
+        std::vector<std::string> sent;
+        const std::size_t n = 1 + rng.below(10);
+        for (std::size_t i = 0; i < n; ++i) {
+            std::string msg;
+            const std::size_t len = rng.below(200) + 1;
+            for (std::size_t b = 0; b < len; ++b)
+                msg.push_back(static_cast<char>(rng.below(256)));
+            sent.push_back(msg);
+            wire += encodeFrame(msg);
+        }
+        FrameDecoder dec;
+        std::vector<std::string> got;
+        std::size_t pos = 0;
+        while (pos < wire.size()) {
+            const std::size_t chunk =
+                std::min<std::size_t>(1 + rng.below(40),
+                                      wire.size() - pos);
+            dec.feed(wire.data() + pos, chunk);
+            pos += chunk;
+            decodeAll(dec, &got);
+            ASSERT_FALSE(dec.failed());
+        }
+        EXPECT_EQ(got, sent);
+    }
+}
+
+// --- Wire-fault spec parsing ------------------------------------------
+
+TEST(NetFault, ParseValidSpecs)
+{
+    WireFault f;
+    std::string err;
+    ASSERT_TRUE(parseWireFault("drop:7", &f, &err));
+    EXPECT_EQ(f.kind, WireFault::Kind::Drop);
+    EXPECT_EQ(f.seed, 7u);
+    EXPECT_DOUBLE_EQ(f.rate, 0.25);
+
+    ASSERT_TRUE(parseWireFault("truncate:123:0.5", &f, &err));
+    EXPECT_EQ(f.kind, WireFault::Kind::Truncate);
+    EXPECT_EQ(f.seed, 123u);
+    EXPECT_DOUBLE_EQ(f.rate, 0.5);
+
+    ASSERT_TRUE(parseWireFault("dup:0:1", &f, &err));
+    EXPECT_EQ(f.kind, WireFault::Kind::Dup);
+    ASSERT_TRUE(parseWireFault("delay:9", &f, &err));
+    EXPECT_EQ(f.kind, WireFault::Kind::Delay);
+}
+
+TEST(NetFault, ParseRejectsMalformedSpecs)
+{
+    WireFault f;
+    std::string err;
+    EXPECT_FALSE(parseWireFault("drop", &f, &err));
+    EXPECT_FALSE(parseWireFault("explode:1", &f, &err));
+    EXPECT_FALSE(parseWireFault("drop:", &f, &err));
+    EXPECT_FALSE(parseWireFault("drop:abc", &f, &err));
+    EXPECT_FALSE(parseWireFault("drop:1:2.0", &f, &err));
+    EXPECT_FALSE(parseWireFault("drop:1:-0.1", &f, &err));
+    EXPECT_FALSE(parseWireFault("drop:1:x", &f, &err));
+    EXPECT_NE(err.find("wire-fault"), std::string::npos);
+}
+
+// --- Fault injector ---------------------------------------------------
+
+TEST(NetFault, FirstFrameAlwaysFaultedWhenGuaranteed)
+{
+    WireFault f;
+    f.kind = WireFault::Kind::Drop;
+    f.seed = 99;
+    f.rate = 0.0; // dice never fire; only the guarantee can
+    FaultInjector inj(f);
+    EXPECT_EQ(inj.decide(), FaultInjector::Action::Drop);
+    EXPECT_EQ(inj.applied(), 1u);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(inj.decide(), FaultInjector::Action::Pass);
+    EXPECT_EQ(inj.applied(), 1u);
+}
+
+TEST(NetFault, NoGuaranteeMeansPureBernoulli)
+{
+    WireFault f;
+    f.kind = WireFault::Kind::Truncate;
+    f.seed = 5;
+    f.rate = 0.0;
+    f.guaranteeFirst = false; // a reconnection's injector
+    FaultInjector inj(f);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(inj.decide(), FaultInjector::Action::Pass);
+    EXPECT_EQ(inj.applied(), 0u);
+}
+
+TEST(NetFault, SameSeedSameDecisions)
+{
+    WireFault f;
+    f.kind = WireFault::Kind::Dup;
+    f.seed = 1234;
+    f.rate = 0.4;
+    FaultInjector a(f), b(f);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(a.decide(), b.decide());
+    EXPECT_EQ(a.applied(), b.applied());
+    EXPECT_GT(a.applied(), 1u); // rate 0.4 over 200 frames must fire
+}
+
+TEST(NetFault, TruncatedSizeBounds)
+{
+    WireFault f;
+    f.kind = WireFault::Kind::Truncate;
+    f.seed = 3;
+    FaultInjector inj(f);
+    for (std::size_t size : {2u, 3u, 10u, 1000u}) {
+        for (int i = 0; i < 100; ++i) {
+            const std::size_t keep = inj.truncatedSize(size);
+            EXPECT_GE(keep, 1u);
+            EXPECT_LT(keep, size);
+        }
+    }
+    EXPECT_EQ(inj.truncatedSize(1), 1u);
+}
+
+TEST(NetFault, DisabledInjectorPassesEverything)
+{
+    FaultInjector inj;
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(inj.decide(), FaultInjector::Action::Pass);
+    EXPECT_FALSE(inj.enabled());
+    EXPECT_EQ(inj.applied(), 0u);
+}
