@@ -31,9 +31,21 @@ LineSerializer::dispatch(LineAddr line, LineState &state, Body body)
     // state may dangle once the body runs (a body that submits can
     // rehash lines_), so finish with it before calling the body.
     state.busy = true;
-    const Cycle releaseAt = body(eq_.now());
-    tsoper_assert(releaseAt >= eq_.now(), "transaction released in the past");
-    eq_.schedule(releaseAt, [this, line] { release(line); });
+    const std::optional<Cycle> freeAt = body(eq_.now());
+    if (!freeAt)
+        return; // Deferred: a reply handler calls releaseAt().
+    tsoper_assert(*freeAt >= eq_.now(), "transaction released in the past");
+    eq_.schedule(*freeAt, [this, line] { release(line); });
+}
+
+void
+LineSerializer::releaseAt(LineAddr line, Cycle at)
+{
+    auto it = lines_.find(line);
+    tsoper_assert(it != lines_.end() && it->second.busy,
+                  "deferred release of idle line");
+    tsoper_assert(at >= eq_.now(), "deferred release in the past");
+    eq_.schedule(at, [this, line] { release(line); });
 }
 
 void

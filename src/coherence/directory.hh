@@ -5,9 +5,12 @@
  *  - LineSerializer: per-cacheline FIFO transaction dispatch.  Each
  *    line admits one transaction at a time; a transaction body runs at
  *    its dispatch cycle, commits protocol state, and returns the cycle
- *    at which the line's directory slot frees up.  This realizes the
- *    serialization the paper's directory performs, without modelling
- *    transient protocol states.
+ *    at which the line's directory slot frees up — or defers, keeping
+ *    the line held while the transaction's message legs (data fetch,
+ *    invalidation acks) are in flight, and frees it via releaseAt()
+ *    when the completing leg lands.  This realizes the serialization
+ *    the paper's directory performs; a deferred body plus its reply
+ *    handlers are the transaction's transient states.
  *
  *  - DirectoryCapacity: finite directory storage with set-associative
  *    victim selection and an eviction buffer for entries whose lines
@@ -33,14 +36,20 @@ namespace tsoper
 class LineSerializer
 {
   public:
-    /** Transaction body: runs at its dispatch cycle, returns the cycle
-     *  at which the next transaction for the line may dispatch. */
-    using Body = std::function<Cycle(Cycle)>;
+    /** Transaction body: runs at its dispatch cycle and returns the
+     *  cycle at which the next transaction for the line may dispatch,
+     *  or nullopt for a *deferred* transaction whose completing
+     *  message leg calls releaseAt() once it lands. */
+    using Body = std::function<std::optional<Cycle>(Cycle)>;
 
     explicit LineSerializer(EventQueue &eq) : eq_(eq) {}
 
     /** Queue @p body for @p line; dispatches now if the line is idle. */
     void submit(LineAddr line, Body body);
+
+    /** Free @p line — held open by a deferred body — at cycle @p at
+     *  (>= now), dispatching the next queued transaction there. */
+    void releaseAt(LineAddr line, Cycle at);
 
     bool busy(LineAddr line) const;
 
@@ -86,6 +95,19 @@ class DirectoryCapacity
 
     /** Drop @p line's entry (its sharing list / sharer set emptied). */
     void release(LineAddr line);
+
+    /** Pin @p line's entry while a deferred transaction holds it open:
+     *  pinned entries are skipped by victim selection, so a teardown
+     *  triggered from another line's allocate() cannot race the
+     *  in-flight message legs.  A no-op if the entry was voluntarily
+     *  released meanwhile (all presence vanished mid-flight) — only
+     *  *forced* eviction must be excluded. */
+    void
+    setPinned(LineAddr line, bool pinned)
+    {
+        if (array_.contains(line))
+            array_.setPinned(line, pinned);
+    }
 
     bool contains(LineAddr line) const { return array_.contains(line); }
 

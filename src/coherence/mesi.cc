@@ -15,6 +15,7 @@ MesiProtocol::MesiProtocol(const SystemConfig &cfg, EventQueue &eq,
     : cfg_(cfg), eq_(eq), bus_(cfg, eq, mesh), llc_(llc), nvm_(nvm),
       serializer_(eq), capacity_(cfg.dirEntriesPerBank, cfg.llcBanks,
                                  cfg.dirEvictBufferEntries, stats),
+      txns_(stats), mshr_(eq, cfg.numCores, cfg.mshrEntries, stats),
       banks_(cfg.llcBanks),
       hits_(stats.counter("mesi.hits")),
       misses_(stats.counter("mesi.misses")),
@@ -49,6 +50,26 @@ MesiProtocol::node(CoreId core, LineAddr line)
     return *n;
 }
 
+template <typename Done>
+bool
+MesiProtocol::mshrAdmit(CoreId core, LineAddr line, Done *done,
+                        std::function<void()> retry)
+{
+    if (mshr_.has(core, line))
+        return true; // Secondary miss / retry of the in-flight primary.
+    if (mshr_.full(core)) {
+        mshr_.defer(core, std::move(retry));
+        return false;
+    }
+    mshr_.enter(core, line);
+    *done = [this, core, line,
+             inner = std::move(*done)](auto &&...args) {
+        mshr_.leave(core, line);
+        inner(std::forward<decltype(args)>(args)...);
+    };
+    return true;
+}
+
 void
 MesiProtocol::load(CoreId core, Addr addr, LoadDone done)
 {
@@ -62,6 +83,9 @@ MesiProtocol::load(CoreId core, Addr addr, LoadDone done)
         });
         return;
     }
+    if (!mshrAdmit(core, line, &done,
+                   [this, core, addr, done] { load(core, addr, done); }))
+        return;
     misses_.inc();
     auto body = [this, core, addr, done](Cycle t) {
         return loadTxn(core, addr, done, t);
@@ -84,6 +108,10 @@ MesiProtocol::store(CoreId core, Addr addr, StoreId store, StoreDone done)
         eq_.scheduleIn(cfg_.privLatency, [done, this] { done(eq_.now()); });
         return;
     }
+    if (!mshrAdmit(core, line, &done, [this, core, addr, store, done] {
+            this->store(core, addr, store, done);
+        }))
+        return;
     auto body = [this, core, addr, store, done](Cycle t) {
         return storeTxn(core, addr, store, done, t);
     };
@@ -101,7 +129,7 @@ MesiProtocol::submitTxn(CoreId core, LineAddr line,
               });
 }
 
-Cycle
+std::optional<Cycle>
 MesiProtocol::loadTxn(CoreId core, Addr addr, LoadDone done, Cycle t)
 {
     const LineAddr line = lineOf(addr);
@@ -115,70 +143,139 @@ MesiProtocol::loadTxn(CoreId core, Addr addr, LoadDone done, Cycle t)
     if (auto victim = capacity_.allocate(line))
         teardownEntry(*victim, t);
     Entry &e = entries_[line];
-    Cycle dataAt;
-    LineWords words;
     if (e.owner != invalidCore) {
+        // Owner forward.  The downgrade commits now — the directory's
+        // serialization instant — while the forward request and data
+        // reply travel as messages; the line stays blocked until the
+        // reply lands (conventional blocking directory).
         const CoreId o = e.owner;
         Node &on = node(o, line);
-        const Cycle fwdAt = bus_.arrival(bus_.bankNode(bankOf(line)),
-                                        bus_.coreNode(o),
-                                        cfg_.ctrlMsgBytes, t);
-        Cycle ready = std::max(fwdAt, on.dataReadyAt);
-        if (on.st == St::M)
-            ready = std::max(ready,
-                             hooks_->onDirtyExpose(o, line, core, false, t));
-        // The data reply leaves first (critical path)...
-        dataAt = bus_.arrival(bus_.coreNode(o), bus_.coreNode(core),
-                             lineBytes + cfg_.ctrlMsgBytes, ready);
-        if (on.st == St::M) {
-            // ...then the MESI downgrade writeback.
+        const bool wasM = (on.st == St::M);
+        Cycle exposeReady = t;
+        if (wasM) {
+            exposeReady = hooks_->onDirtyExpose(o, line, core, false, t);
             llc_.install(line, on.words, true, t);
             coherenceWb_.inc();
-            bus_.arrival(bus_.coreNode(o), bus_.bankNode(bankOf(line)),
-                        lineBytes + cfg_.ctrlMsgBytes, ready);
         }
-        words = on.words;
+        const Cycle floor = std::max(on.dataReadyAt, exposeReady);
+        const LineWords words = on.words;
         on.st = St::S;
         e.sharers = bit(o) | bit(core);
         e.owner = invalidCore;
-    } else if (e.sharers != 0 || llc_.contains(line)) {
-        if (llc_.contains(line)) {
-            words = llc_.lookup(line);
-            dataAt = bus_.arrival(bus_.bankNode(bankOf(line)),
-                                 bus_.coreNode(core),
-                                 lineBytes + cfg_.ctrlMsgBytes,
-                                 llc_.access(line, t));
-        } else {
-            // LLC lost the shared copy; fetch from any sharer.
-            CoreId s = invalidCore;
-            for (CoreId c = 0; c < static_cast<CoreId>(cfg_.numCores); ++c)
-                if (e.sharers & bit(c)) { s = c; break; }
-            tsoper_assert(s != invalidCore);
-            Node &sn = node(s, line);
-            const Cycle fwdAt = bus_.arrival(bus_.bankNode(bankOf(line)),
-                                            bus_.coreNode(s),
-                                            cfg_.ctrlMsgBytes, t);
-            dataAt = bus_.arrival(bus_.coreNode(s), bus_.coreNode(core),
-                                 lineBytes + cfg_.ctrlMsgBytes,
-                                 std::max(fwdAt, sn.dataReadyAt));
-            words = sn.words;
-            llc_.install(line, words, false, t);
-        }
-        e.sharers |= bit(core);
-    } else {
-        std::tie(dataAt, words) = fetchFromMemory(core, line, t);
-        e.owner = core; // E state: exclusive clean.
+        Node &nn = nodes_[static_cast<unsigned>(core)][line];
+        nn.st = St::S;
+        nn.words = words;
+        nn.dataReadyAt = t; // Finalized before release by the reply leg.
+        insertResident(core, line, t);
+        capacity_.setPinned(line, true);
+        const StoreId value = words[wordOf(addr)];
+        bus_.send(bus_.bankNode(bankOf(line)), bus_.coreNode(o),
+                  cfg_.ctrlMsgBytes, t,
+                  [this, o, core, line, value, done, floor, wasM] {
+                      const Cycle ready = std::max(eq_.now(), floor);
+                      // The data reply leaves first (critical path)...
+                      const Cycle dataAt = bus_.send(
+                          bus_.coreNode(o), bus_.coreNode(core),
+                          lineBytes + cfg_.ctrlMsgBytes, ready,
+                          [this, done, value] { done(eq_.now(), value); });
+                      if (Node *n = findNode(core, line))
+                          n->dataReadyAt = std::max(n->dataReadyAt, dataAt);
+                      if (wasM) {
+                          // ...then the MESI downgrade writeback
+                          // (traffic; the LLC contents moved at
+                          // dispatch).
+                          bus_.arrival(bus_.coreNode(o),
+                                       bus_.bankNode(bankOf(line)),
+                                       lineBytes + cfg_.ctrlMsgBytes,
+                                       ready);
+                      }
+                      finishTxn(line, dataAt);
+                  });
+        return std::nullopt;
     }
+    if (e.sharers != 0 || llc_.contains(line)) {
+        if (llc_.contains(line)) {
+            const LineWords words = llc_.lookup(line);
+            e.sharers |= bit(core);
+            Node &nn = nodes_[static_cast<unsigned>(core)][line];
+            nn.st = St::S;
+            nn.words = words;
+            nn.dataReadyAt = t;
+            insertResident(core, line, t);
+            capacity_.setPinned(line, true);
+            const StoreId value = words[wordOf(addr)];
+            fillTiming(line, t, false,
+                       [this, core, line, value, done](Cycle at) {
+                           const Cycle dataAt = bus_.send(
+                               bus_.bankNode(bankOf(line)),
+                               bus_.coreNode(core),
+                               lineBytes + cfg_.ctrlMsgBytes, at,
+                               [this, done, value] {
+                                   done(eq_.now(), value);
+                               });
+                           if (Node *n = findNode(core, line))
+                               n->dataReadyAt =
+                                   std::max(n->dataReadyAt, dataAt);
+                           finishTxn(line, dataAt);
+                       });
+            return std::nullopt;
+        }
+        // LLC lost the shared copy; fetch from any sharer.
+        CoreId s = invalidCore;
+        for (CoreId c = 0; c < static_cast<CoreId>(cfg_.numCores); ++c)
+            if (e.sharers & bit(c)) { s = c; break; }
+        tsoper_assert(s != invalidCore);
+        Node &sn = node(s, line);
+        const Cycle floor = sn.dataReadyAt;
+        const LineWords words = sn.words;
+        llc_.install(line, words, false, t);
+        e.sharers |= bit(core);
+        Node &nn = nodes_[static_cast<unsigned>(core)][line];
+        nn.st = St::S;
+        nn.words = words;
+        nn.dataReadyAt = t;
+        insertResident(core, line, t);
+        capacity_.setPinned(line, true);
+        const StoreId value = words[wordOf(addr)];
+        bus_.send(bus_.bankNode(bankOf(line)), bus_.coreNode(s),
+                  cfg_.ctrlMsgBytes, t,
+                  [this, s, core, line, value, done, floor] {
+                      const Cycle ready = std::max(eq_.now(), floor);
+                      const Cycle dataAt = bus_.send(
+                          bus_.coreNode(s), bus_.coreNode(core),
+                          lineBytes + cfg_.ctrlMsgBytes, ready,
+                          [this, done, value] { done(eq_.now(), value); });
+                      if (Node *n = findNode(core, line))
+                          n->dataReadyAt = std::max(n->dataReadyAt, dataAt);
+                      finishTxn(line, dataAt);
+                  });
+        return std::nullopt;
+    }
+    // Memory fill: E state (exclusive clean).  Contents resolve now;
+    // the LLC bank pipe and an NVM read behind it supply the timing.
+    const LineWords words = nvm_.durable(line);
+    llc_.install(line, words, false, t);
+    e.owner = core;
     Node &nn = nodes_[static_cast<unsigned>(core)][line];
-    nn.st = (e.owner == core) ? St::E : St::S;
+    nn.st = St::E;
     nn.words = words;
-    nn.dataReadyAt = dataAt;
+    nn.dataReadyAt = t;
     insertResident(core, line, t);
-    done(dataAt, words[wordOf(addr)]);
-    return dataAt; // Blocking directory: hold the line to completion.
+    capacity_.setPinned(line, true);
+    const StoreId value = words[wordOf(addr)];
+    fillTiming(line, t, true, [this, core, line, value, done](Cycle at) {
+        const Cycle dataAt = bus_.send(
+            bus_.bankNode(bankOf(line)), bus_.coreNode(core),
+            lineBytes + cfg_.ctrlMsgBytes, at,
+            [this, done, value] { done(eq_.now(), value); });
+        if (Node *n = findNode(core, line))
+            n->dataReadyAt = std::max(n->dataReadyAt, dataAt);
+        finishTxn(line, dataAt);
+    });
+    return std::nullopt;
 }
 
-Cycle
+std::optional<Cycle>
 MesiProtocol::storeTxn(CoreId core, Addr addr, StoreId store,
                        StoreDone done, Cycle t)
 {
@@ -204,33 +301,80 @@ MesiProtocol::storeTxn(CoreId core, Addr addr, StoreId store,
         teardownEntry(*victim, t);
     Entry &e = entries_[line];
     Node *mine = findNode(core, line);
-    Cycle dataAt;
-    LineWords words;
     if (e.owner != invalidCore && e.owner != core) {
+        // Owner invalidation + data forward, as one message chain.
         const CoreId o = e.owner;
         Node &on = node(o, line);
-        const Cycle fwdAt = bus_.arrival(bus_.bankNode(bankOf(line)),
-                                        bus_.coreNode(o),
-                                        cfg_.ctrlMsgBytes, t);
-        Cycle ready = std::max(fwdAt, on.dataReadyAt);
-        if (on.st == St::M)
-            ready = std::max(ready,
-                             hooks_->onDirtyExpose(o, line, core, true, t));
-        dataAt = bus_.arrival(bus_.coreNode(o), bus_.coreNode(core),
-                             lineBytes + cfg_.ctrlMsgBytes, ready);
-        words = on.words;
-        on.st = St::I;
+        const bool wasM = (on.st == St::M);
+        Cycle exposeReady = t;
+        if (wasM)
+            exposeReady = hooks_->onDirtyExpose(o, line, core, true, t);
+        const Cycle floor = std::max(on.dataReadyAt, exposeReady);
+        const LineWords words = on.words;
         arrays_[static_cast<unsigned>(o)].erase(line);
         nodes_[static_cast<unsigned>(o)].erase(line);
-    } else if (mine && mine->st == St::S) {
+        e.sharers = 0;
+        e.owner = core;
+        Node &nn = nodes_[static_cast<unsigned>(core)][line];
+        nn.st = St::M;
+        nn.words = words;
+        nn.words[wordOf(addr)] = store;
+        nn.dataReadyAt = t;
+        insertResident(core, line, t);
+        hooks_->onStoreCommitted(core, line, t);
+        logStore(core, addr, store);
+        capacity_.setPinned(line, true);
+        bus_.send(bus_.bankNode(bankOf(line)), bus_.coreNode(o),
+                  cfg_.ctrlMsgBytes, t,
+                  [this, o, core, line, done, floor] {
+                      const Cycle ready = std::max(eq_.now(), floor);
+                      const Cycle dataAt = bus_.send(
+                          bus_.coreNode(o), bus_.coreNode(core),
+                          lineBytes + cfg_.ctrlMsgBytes, ready,
+                          [this, done] { done(eq_.now()); });
+                      if (Node *n = findNode(core, line))
+                          n->dataReadyAt = std::max(n->dataReadyAt, dataAt);
+                      finishTxn(line, dataAt);
+                  });
+        return std::nullopt;
+    }
+    if (mine && mine->st == St::S) {
+        // S -> M upgrade: a TxnTable entry collects one ack per
+        // invalidated sharer plus the home's permission grant; the SB
+        // drains when the last leg lands.
         upgrades_.inc();
-        words = mine->words;
-        const Cycle ackAt = invalidateSharers(line, core, core, t);
-        dataAt = std::max(ackAt, bus_.arrival(bus_.bankNode(bankOf(line)),
-                                             bus_.coreNode(core),
-                                             cfg_.ctrlMsgBytes, t));
-    } else if (e.sharers != 0 || llc_.contains(line)) {
-        misses_.inc();
+        unsigned numInv = 0;
+        for (CoreId c = 0; c < static_cast<CoreId>(cfg_.numCores); ++c)
+            if ((e.sharers & bit(c)) && c != core)
+                ++numInv;
+        const TxnTable::Id id = txns_.begin(
+            line, core, numInv + 1,
+            [this, core, line, done](Cycle readyAt) {
+                if (Node *n = findNode(core, line))
+                    n->dataReadyAt = std::max(n->dataReadyAt, readyAt);
+                done(readyAt);
+                finishTxn(line, readyAt);
+            });
+        sendInvalidations(line, core, core, t, id);
+        bus_.send(bus_.bankNode(bankOf(line)), bus_.coreNode(core),
+                  cfg_.ctrlMsgBytes, t,
+                  [this, id] { txns_.legDone(id, eq_.now()); });
+        e.sharers = 0;
+        e.owner = core;
+        mine->st = St::M;
+        mine->words[wordOf(addr)] = store;
+        insertResident(core, line, t);
+        hooks_->onStoreCommitted(core, line, t);
+        logStore(core, addr, store);
+        capacity_.setPinned(line, true);
+        return std::nullopt;
+    }
+    misses_.inc();
+    if (e.sharers != 0 || llc_.contains(line)) {
+        // Data from the LLC (or a sharer when the LLC lost the copy)
+        // plus one invalidation ack per sharer: the data leg and the
+        // acks race, and the TxnTable folds their arrivals.
+        LineWords words;
         if (llc_.contains(line)) {
             words = llc_.lookup(line);
         } else {
@@ -240,70 +384,106 @@ MesiProtocol::storeTxn(CoreId core, Addr addr, StoreId store,
             tsoper_assert(s != invalidCore);
             words = node(s, line).words;
         }
-        const Cycle llcAt = bus_.arrival(bus_.bankNode(bankOf(line)),
-                                        bus_.coreNode(core),
-                                        lineBytes + cfg_.ctrlMsgBytes,
-                                        llc_.access(line, t));
-        const Cycle ackAt = invalidateSharers(line, core, core, t);
-        dataAt = std::max(llcAt, ackAt);
-    } else {
-        misses_.inc();
-        std::tie(dataAt, words) = fetchFromMemory(core, line, t);
+        unsigned numInv = 0;
+        for (CoreId c = 0; c < static_cast<CoreId>(cfg_.numCores); ++c)
+            if ((e.sharers & bit(c)) && c != core)
+                ++numInv;
+        const TxnTable::Id id = txns_.begin(
+            line, core, numInv + 1,
+            [this, core, line, done](Cycle readyAt) {
+                if (Node *n = findNode(core, line))
+                    n->dataReadyAt = std::max(n->dataReadyAt, readyAt);
+                done(readyAt);
+                finishTxn(line, readyAt);
+            });
+        sendInvalidations(line, core, core, t, id);
+        e.sharers = 0;
+        e.owner = core;
+        Node &nn = nodes_[static_cast<unsigned>(core)][line];
+        nn.st = St::M;
+        nn.words = words;
+        nn.words[wordOf(addr)] = store;
+        nn.dataReadyAt = t;
+        insertResident(core, line, t);
+        hooks_->onStoreCommitted(core, line, t);
+        logStore(core, addr, store);
+        capacity_.setPinned(line, true);
+        fillTiming(line, t, false, [this, core, line, id](Cycle at) {
+            bus_.send(bus_.bankNode(bankOf(line)), bus_.coreNode(core),
+                      lineBytes + cfg_.ctrlMsgBytes, at,
+                      [this, id] { txns_.legDone(id, eq_.now()); });
+        });
+        return std::nullopt;
     }
+    // Memory fill straight to M.
+    const LineWords memWords = nvm_.durable(line);
+    llc_.install(line, memWords, false, t);
     e.sharers = 0;
     e.owner = core;
     Node &nn = nodes_[static_cast<unsigned>(core)][line];
     nn.st = St::M;
-    nn.words = words;
+    nn.words = memWords;
     nn.words[wordOf(addr)] = store;
-    nn.dataReadyAt = dataAt;
+    nn.dataReadyAt = t;
     insertResident(core, line, t);
     hooks_->onStoreCommitted(core, line, t);
     logStore(core, addr, store);
-    done(dataAt);
-    return dataAt;
+    capacity_.setPinned(line, true);
+    fillTiming(line, t, true, [this, core, line, done](Cycle at) {
+        const Cycle dataAt = bus_.send(
+            bus_.bankNode(bankOf(line)), bus_.coreNode(core),
+            lineBytes + cfg_.ctrlMsgBytes, at,
+            [this, done] { done(eq_.now()); });
+        if (Node *n = findNode(core, line))
+            n->dataReadyAt = std::max(n->dataReadyAt, dataAt);
+        finishTxn(line, dataAt);
+    });
+    return std::nullopt;
 }
 
-std::pair<Cycle, LineWords>
-MesiProtocol::fetchFromMemory(CoreId core, LineAddr line, Cycle t)
+void
+MesiProtocol::fillTiming(LineAddr line, Cycle t, bool fromNvm,
+                         std::function<void(Cycle)> finish)
 {
-    LineWords words;
-    Cycle at;
-    if (llc_.contains(line)) {
-        words = llc_.lookup(line);
-        at = llc_.access(line, t);
-    } else {
-        words = nvm_.durable(line);
-        at = nvm_.read(line, llc_.access(line, t));
-        llc_.install(line, words, false, t);
-    }
-    const Cycle dataAt = bus_.arrival(bus_.bankNode(bankOf(line)),
-                                     bus_.coreNode(core),
-                                     lineBytes + cfg_.ctrlMsgBytes, at);
-    return {dataAt, words};
+    llc_.accessAsync(line, t,
+                     [this, line, fromNvm,
+                      finish = std::move(finish)](Cycle at) {
+                         if (fromNvm)
+                             at = nvm_.read(line, at);
+                         finish(at);
+                     });
 }
 
-Cycle
-MesiProtocol::invalidateSharers(LineAddr line, CoreId except,
-                                CoreId requester, Cycle t)
+void
+MesiProtocol::finishTxn(LineAddr line, Cycle at)
+{
+    capacity_.setPinned(line, false);
+    serializer_.releaseAt(line, at);
+}
+
+unsigned
+MesiProtocol::sendInvalidations(LineAddr line, CoreId except,
+                                CoreId requester, Cycle t, TxnTable::Id txn)
 {
     Entry &e = entries_[line];
-    Cycle lastAck = t;
+    unsigned sent = 0;
     for (CoreId c = 0; c < static_cast<CoreId>(cfg_.numCores); ++c) {
         if (!(e.sharers & bit(c)) || c == except)
             continue;
-        const Cycle invAt = bus_.arrival(bus_.bankNode(bankOf(line)),
-                                        bus_.coreNode(c),
-                                        cfg_.ctrlMsgBytes, t);
-        const Cycle ackAt = bus_.arrival(bus_.coreNode(c),
-                                        bus_.coreNode(requester),
-                                        cfg_.ctrlMsgBytes, invAt);
-        lastAck = std::max(lastAck, ackAt);
+        ++sent;
+        // State commits now; the inv and its ack are timing legs.
         arrays_[static_cast<unsigned>(c)].erase(line);
         nodes_[static_cast<unsigned>(c)].erase(line);
+        bus_.send(bus_.bankNode(bankOf(line)), bus_.coreNode(c),
+                  cfg_.ctrlMsgBytes, t, [this, c, requester, txn] {
+                      bus_.send(bus_.coreNode(c), bus_.coreNode(requester),
+                                cfg_.ctrlMsgBytes, eq_.now(), [this, txn] {
+                                    txns_.legDone(txn, eq_.now());
+                                });
+                  });
     }
     e.sharers &= bit(except);
-    return lastAck;
+    return sent;
 }
 
 void

@@ -13,6 +13,11 @@
  * its line until the requester has data and acknowledgements, which —
  * combined with BSP's flush-before-handover (ProtocolHooks::
  * onDirtyExpose) — produces the L1 exclusion time of Fig. 1a.
+ *
+ * Blocking is implemented event-driven: state commits at dispatch, the
+ * timing legs (forwards, invalidations + acks, data replies) travel as
+ * real messages, and a TxnTable entry holds the line's serializer slot
+ * until the last leg lands (LineSerializer::releaseAt).
  */
 
 #ifndef TSOPER_COHERENCE_MESI_HH
@@ -24,6 +29,7 @@
 
 #include "coherence/directory.hh"
 #include "coherence/protocol.hh"
+#include "coherence/txn.hh"
 #include "mem/cache_array.hh"
 #include "mem/llc.hh"
 #include "mem/nvm.hh"
@@ -97,17 +103,39 @@ class MesiProtocol : public CoherenceProtocol
     void submitTxn(CoreId core, LineAddr line, LineSerializer::Body body,
                    Cycle departAt);
 
-    Cycle loadTxn(CoreId core, Addr addr, LoadDone done, Cycle t);
-    Cycle storeTxn(CoreId core, Addr addr, StoreId store, StoreDone done,
-                   Cycle t);
+    /** Transaction bodies (run at directory dispatch).  nullopt means
+     *  the body deferred: the line is held until the last timing leg
+     *  lands and finishTxn frees it. */
+    std::optional<Cycle> loadTxn(CoreId core, Addr addr, LoadDone done,
+                                 Cycle t);
+    std::optional<Cycle> storeTxn(CoreId core, Addr addr, StoreId store,
+                                  StoreDone done, Cycle t);
 
-    /** Fetch words + arrival when the LLC/NVM must supply data. */
-    std::pair<Cycle, LineWords> fetchFromMemory(CoreId core, LineAddr line,
-                                                Cycle t);
+    /** MSHR gate for the miss paths (same contract as SlcProtocol's). */
+    template <typename Done>
+    bool mshrAdmit(CoreId core, LineAddr line, Done *done,
+                   std::function<void()> retry);
 
-    /** Invalidate all sharers except @p except; @return last ack cycle. */
-    Cycle invalidateSharers(LineAddr line, CoreId except, CoreId requester,
-                            Cycle t);
+    /**
+     * Timing tail of a memory fill: async LLC bank access, an NVM read
+     * behind it on an LLC miss.  @p finish runs at the directory with
+     * the cycle the data is at the bank.
+     */
+    void fillTiming(LineAddr line, Cycle t, bool fromNvm,
+                    std::function<void(Cycle)> finish);
+
+    /** Retire a deferred transaction: unpin the directory entry and
+     *  free the line's serializer slot at @p at. */
+    void finishTxn(LineAddr line, Cycle at);
+
+    /**
+     * Invalidate all sharers except @p except (state commits now); each
+     * sharer's inv travels as a message and its ack (sharer ->
+     * requester) reports a leg of @p txn.  @return the number of
+     * invalidation legs sent.
+     */
+    unsigned sendInvalidations(LineAddr line, CoreId except,
+                               CoreId requester, Cycle t, TxnTable::Id txn);
 
     void insertResident(CoreId core, LineAddr line, Cycle t);
     void handleVictim(CoreId core, LineAddr victim, Cycle t);
@@ -122,6 +150,8 @@ class MesiProtocol : public CoherenceProtocol
     Nvm &nvm_;
     LineSerializer serializer_;
     DirectoryCapacity capacity_;
+    TxnTable txns_;
+    Mshr mshr_;
     unsigned banks_;
     Cycle dirLatency_ = 6;
 

@@ -17,6 +17,7 @@ SlcProtocol::SlcProtocol(const SystemConfig &cfg, EventQueue &eq, Mesh &mesh,
       stats_(stats),
       serializer_(eq), capacity_(cfg.dirEntriesPerBank, cfg.llcBanks,
                                  cfg.dirEvictBufferEntries, stats),
+      mshr_(eq, cfg.numCores, cfg.mshrEntries, stats),
       banks_(cfg.llcBanks), evictBufOcc_(cfg.numCores, 0),
       hits_(stats.counter("slc.hits")),
       misses_(stats.counter("slc.misses")),
@@ -58,6 +59,26 @@ SlcProtocol::node(CoreId core, LineAddr line)
 // Public access paths
 // --------------------------------------------------------------------
 
+template <typename Done>
+bool
+SlcProtocol::mshrAdmit(CoreId core, LineAddr line, Done *done,
+                       std::function<void()> retry)
+{
+    if (mshr_.has(core, line))
+        return true; // Secondary miss / retry of the in-flight primary.
+    if (mshr_.full(core)) {
+        mshr_.defer(core, std::move(retry));
+        return false;
+    }
+    mshr_.enter(core, line);
+    *done = [this, core, line,
+             inner = std::move(*done)](auto &&...args) {
+        mshr_.leave(core, line);
+        inner(std::forward<decltype(args)>(args)...);
+    };
+    return true;
+}
+
 void
 SlcProtocol::load(CoreId core, Addr addr, LoadDone done)
 {
@@ -72,6 +93,9 @@ SlcProtocol::load(CoreId core, Addr addr, LoadDone done)
         });
         return;
     }
+    if (!mshrAdmit(core, line, &done,
+                   [this, core, addr, done] { load(core, addr, done); }))
+        return;
     misses_.inc();
     auto body = [this, core, addr, done](Cycle t) {
         return loadTxn(core, addr, done, t);
@@ -97,6 +121,10 @@ SlcProtocol::store(CoreId core, Addr addr, StoreId store, StoreDone done)
         eq_.scheduleIn(cfg_.privLatency, [done, this] { done(eq_.now()); });
         return;
     }
+    if (!mshrAdmit(core, line, &done, [this, core, addr, store, done] {
+            this->store(core, addr, store, done);
+        }))
+        return;
     auto body = [this, core, addr, store, done](Cycle t) {
         return storeTxn(core, addr, store, done, t);
     };
@@ -144,7 +172,7 @@ SlcProtocol::mustWaitForOwnNode(CoreId core, LineAddr line,
 // Transaction bodies
 // --------------------------------------------------------------------
 
-Cycle
+std::optional<Cycle>
 SlcProtocol::loadTxn(CoreId core, Addr addr, LoadDone done, Cycle t)
 {
     const LineAddr line = lineOf(addr);
@@ -174,53 +202,113 @@ SlcProtocol::loadTxn(CoreId core, Addr addr, LoadDone done, Cycle t)
     // Re-fetch: the waiter/teardown paths above may have erased and
     // re-created the entry.
     const CoreId h = entries_[line].head;
-    Cycle dataAt;
-    LineWords words;
-    bool sourceDirty = false;
     if (h == invalidCore || !node(h, line).valid) {
         // No valid cached copy: the LLC (or NVM) holds the current
         // version (invalid heads imply their successors' versions
-        // already reached the LLC).
-        std::tie(dataAt, words) = fetchFromMemory(core, line, t);
-    } else {
-        Node &hn = node(h, line);
-        sourceDirty = hn.dirty;
-        const Cycle fwdAt = bus_.arrival(bus_.bankNode(bankOf(line)),
-                                        bus_.coreNode(h),
-                                        cfg_.ctrlMsgBytes, t);
-        Cycle ready = std::max(fwdAt, hn.dataReadyAt);
-        if (hn.dirty)
-            ready = std::max(ready,
-                             hooks_->onDirtyExpose(h, line, core, false, t));
-        // The data reply leaves first (critical path)...
-        dataAt = bus_.arrival(bus_.coreNode(h), bus_.coreNode(core),
-                             lineBytes + cfg_.ctrlMsgBytes, ready);
-        if (hn.dirty && hooks_->writebackOnDowngrade()) {
-            // ...then the conventional downgrade writeback: the owner
-            // writes the dirty data back and becomes a clean sharer.
-            llc_.install(line, hn.words, true, t);
-            coherenceWb_.inc();
-            bus_.arrival(bus_.coreNode(h), bus_.bankNode(bankOf(line)),
-                        lineBytes + cfg_.ctrlMsgBytes, ready);
-            hn.dirty = false;
-            sourceDirty = false;
+        // already reached the LLC).  Contents resolve now — they are
+        // directory-side state — while the timing goes through the
+        // bank pipe and a data-reply message; the line stays held (and
+        // its entry pinned against teardown) until the pipe answers,
+        // so dataReadyAt is final before the next same-line dispatch.
+        const bool fromNvm = !llc_.contains(line);
+        LineWords words;
+        if (fromNvm) {
+            words = nvm_.durable(line);
+            llc_.install(line, words, false, t);
+        } else {
+            words = llc_.lookup(line);
         }
-        words = hn.words;
+        Node &nn = prependNode(core, line);
+        nn.words = words;
+        insertResident(core, line, t);
+        if (relinked)
+            hooks_->onNodeRelinked(core, line, t);
+        sampleListStats(line);
+        capacity_.setPinned(line, true);
+        const StoreId value = words[wordOf(addr)];
+        const Cycle freeNoEarlier = t + dirLatency_;
+        fillTiming(line, t, fromNvm,
+                   [this, core, line, value, done,
+                    freeNoEarlier](Cycle at) {
+                       const Cycle dataAt = bus_.send(
+                           bus_.bankNode(bankOf(line)),
+                           bus_.coreNode(core),
+                           lineBytes + cfg_.ctrlMsgBytes, at,
+                           [this, done, value] {
+                               done(eq_.now(), value);
+                           });
+                       if (Node *n = findNode(core, line))
+                           n->dataReadyAt =
+                               std::max(n->dataReadyAt, dataAt);
+                       capacity_.setPinned(line, false);
+                       serializer_.releaseAt(
+                           line, std::max(eq_.now(), freeNoEarlier));
+                   });
+        return std::nullopt;
     }
+
+    // Cache-to-cache: nonblocking (OBS 3).  The list re-links and the
+    // hooks fire now — the directory's serialization instant — while
+    // the forward request and data reply travel as messages.
+    Node &hn = node(h, line);
+    bool sourceDirty = hn.dirty;
+    Cycle exposeReady = t;
+    if (hn.dirty)
+        exposeReady = hooks_->onDirtyExpose(h, line, core, false, t);
+    bool wb = false;
+    if (hn.dirty && hooks_->writebackOnDowngrade()) {
+        // The owner will write the dirty data back alongside the data
+        // reply and become a clean sharer; contents move now.
+        llc_.install(line, hn.words, true, t);
+        coherenceWb_.inc();
+        hn.dirty = false;
+        sourceDirty = false;
+        wb = true;
+    }
+    const Cycle floor = std::max(hn.dataReadyAt, exposeReady);
+    const LineWords words = hn.words;
     Node &nn = prependNode(core, line);
-    nn.dataReadyAt = dataAt;
     nn.words = words;
+    // Estimate until the reply lands (uncontended legs); subsequent
+    // same-line forwards read this as their data-readiness floor.
+    nn.dataReadyAt =
+        std::max(t + bus_.idealLatency(bus_.bankNode(bankOf(line)),
+                                       bus_.coreNode(h),
+                                       cfg_.ctrlMsgBytes),
+                 floor) +
+        bus_.idealLatency(bus_.coreNode(h), bus_.coreNode(core),
+                          lineBytes + cfg_.ctrlMsgBytes);
     insertResident(core, line, t);
     if (sourceDirty)
         hooks_->onReadDependence(core, line, t);
     if (relinked)
         hooks_->onNodeRelinked(core, line, t);
-    done(dataAt, words[wordOf(addr)]);
+    const StoreId value = words[wordOf(addr)];
+    bus_.send(bus_.bankNode(bankOf(line)), bus_.coreNode(h),
+              cfg_.ctrlMsgBytes, t,
+              [this, h, core, line, value, done, floor, wb] {
+                  const Cycle ready = std::max(eq_.now(), floor);
+                  // The data reply leaves first (critical path)...
+                  const Cycle dataAt = bus_.send(
+                      bus_.coreNode(h), bus_.coreNode(core),
+                      lineBytes + cfg_.ctrlMsgBytes, ready,
+                      [this, done, value] { done(eq_.now(), value); });
+                  if (Node *n = findNode(core, line))
+                      n->dataReadyAt = std::max(n->dataReadyAt, dataAt);
+                  if (wb) {
+                      // ...then the conventional downgrade writeback
+                      // travels home (traffic accounting; the LLC
+                      // contents moved at dispatch).
+                      bus_.arrival(bus_.coreNode(h),
+                                   bus_.bankNode(bankOf(line)),
+                                   lineBytes + cfg_.ctrlMsgBytes, ready);
+                  }
+              });
     sampleListStats(line);
     return t + dirLatency_;
 }
 
-Cycle
+std::optional<Cycle>
 SlcProtocol::storeTxn(CoreId core, Addr addr, StoreId store, StoreDone done,
                       Cycle t)
 {
@@ -246,7 +334,7 @@ SlcProtocol::storeTxn(CoreId core, Addr addr, StoreId store, StoreDone done,
         teardownEntry(*victim, t);
 
     Node *n = findNode(core, line);
-    Cycle permissionAt;
+    bool deferred = false;
     CoreId exposedInDataPath = invalidCore;
     if (n && n->valid) {
         upgrades_.inc();
@@ -278,71 +366,110 @@ SlcProtocol::storeTxn(CoreId core, Addr addr, StoreId store, StoreDone done,
                 node(h, line).bwd = core;
             e.head = core;
         }
-        permissionAt = bus_.arrival(bus_.bankNode(bankOf(line)),
-                                   bus_.coreNode(core), cfg_.ctrlMsgBytes,
-                                   t);
+        // Permission grant travels as a message; the SB drains when it
+        // lands (write permission already held functionally — OBS 3).
+        const Cycle permissionAt =
+            bus_.send(bus_.bankNode(bankOf(line)), bus_.coreNode(core),
+                      cfg_.ctrlMsgBytes, t,
+                      [this, done] { done(eq_.now()); });
         n->dataReadyAt = std::max(n->dataReadyAt, permissionAt);
     } else {
         misses_.inc();
         const CoreId h = entries_[line].head;
-        Cycle dataAt;
-        LineWords words;
         if (h == invalidCore || !node(h, line).valid) {
-            std::tie(dataAt, words) = fetchFromMemory(core, line, t);
+            // Fill from the LLC/NVM: blocking (the pipe reply frees the
+            // line), same shape as the load-miss path.
+            const bool fromNvm = !llc_.contains(line);
+            LineWords words;
+            if (fromNvm) {
+                words = nvm_.durable(line);
+                llc_.install(line, words, false, t);
+            } else {
+                words = llc_.lookup(line);
+            }
+            Node &nn = prependNode(core, line);
+            nn.words = words;
+            insertResident(core, line, t);
+            capacity_.setPinned(line, true);
+            const Cycle freeNoEarlier = t + dirLatency_;
+            fillTiming(line, t, fromNvm,
+                       [this, core, line, done,
+                        freeNoEarlier](Cycle at) {
+                           const Cycle dataAt = bus_.send(
+                               bus_.bankNode(bankOf(line)),
+                               bus_.coreNode(core),
+                               lineBytes + cfg_.ctrlMsgBytes, at,
+                               [this, done] { done(eq_.now()); });
+                           if (Node *p = findNode(core, line))
+                               p->dataReadyAt =
+                                   std::max(p->dataReadyAt, dataAt);
+                           capacity_.setPinned(line, false);
+                           serializer_.releaseAt(
+                               line, std::max(eq_.now(), freeNoEarlier));
+                       });
+            deferred = true;
         } else {
+            // Forward from the current head; its invalidation folds
+            // into the data reply (the exposedInDataPath marker).
             Node &hn = node(h, line);
-            const Cycle fwdAt = bus_.arrival(bus_.bankNode(bankOf(line)),
-                                            bus_.coreNode(h),
-                                            cfg_.ctrlMsgBytes, t);
-            Cycle ready = std::max(fwdAt, hn.dataReadyAt);
+            Cycle exposeReady = t;
             if (hn.dirty) {
-                ready = std::max(ready, hooks_->onDirtyExpose(h, line, core,
-                                                              true, t));
+                exposeReady = hooks_->onDirtyExpose(h, line, core, true, t);
                 exposedInDataPath = h;
             }
-            dataAt = bus_.arrival(bus_.coreNode(h), bus_.coreNode(core),
-                                 lineBytes + cfg_.ctrlMsgBytes, ready);
-            words = hn.words;
+            const Cycle floor = std::max(hn.dataReadyAt, exposeReady);
+            const LineWords words = hn.words;
+            Node &nn = prependNode(core, line);
+            nn.words = words;
+            nn.dataReadyAt =
+                std::max(t + bus_.idealLatency(
+                                 bus_.bankNode(bankOf(line)),
+                                 bus_.coreNode(h), cfg_.ctrlMsgBytes),
+                         floor) +
+                bus_.idealLatency(bus_.coreNode(h), bus_.coreNode(core),
+                                  lineBytes + cfg_.ctrlMsgBytes);
+            insertResident(core, line, t);
+            bus_.send(bus_.bankNode(bankOf(line)), bus_.coreNode(h),
+                      cfg_.ctrlMsgBytes, t,
+                      [this, h, core, line, done, floor] {
+                          const Cycle ready = std::max(eq_.now(), floor);
+                          const Cycle dataAt = bus_.send(
+                              bus_.coreNode(h), bus_.coreNode(core),
+                              lineBytes + cfg_.ctrlMsgBytes, ready,
+                              [this, done] { done(eq_.now()); });
+                          if (Node *p = findNode(core, line))
+                              p->dataReadyAt =
+                                  std::max(p->dataReadyAt, dataAt);
+                      });
         }
-        Node &nn = prependNode(core, line);
-        nn.dataReadyAt = dataAt;
-        nn.words = words;
-        insertResident(core, line, t);
         n = &node(core, line);
-        permissionAt = dataAt;
     }
     invalidateBelow(core, line, t, exposedInDataPath);
     n = &node(core, line);
     TSOPER_TRACE(Slc, t, "core " << core << " is the new head writer of "
-                 "line 0x" << std::hex << line << std::dec
-                 << " (permission at " << permissionAt << ")");
+                 "line 0x" << std::hex << line << std::dec);
     trace::instant(trace::Event::SlcNewHead, core, t, line);
     n->words[wordOf(addr)] = store;
     n->dirty = true;
     hooks_->onStoreCommitted(core, line, t);
     logStore(core, addr, store);
-    done(permissionAt);
     sampleListStats(line);
+    if (deferred)
+        return std::nullopt;
     return t + dirLatency_;
 }
 
-std::pair<Cycle, LineWords>
-SlcProtocol::fetchFromMemory(CoreId core, LineAddr line, Cycle t)
+void
+SlcProtocol::fillTiming(LineAddr line, Cycle t, bool fromNvm,
+                        std::function<void(Cycle)> finish)
 {
-    LineWords words;
-    Cycle at;
-    if (llc_.contains(line)) {
-        words = llc_.lookup(line);
-        at = llc_.access(line, t);
-    } else {
-        words = nvm_.durable(line);
-        at = nvm_.read(line, llc_.access(line, t));
-        llc_.install(line, words, false, t);
-    }
-    const Cycle dataAt = bus_.arrival(bus_.bankNode(bankOf(line)),
-                                     bus_.coreNode(core),
-                                     lineBytes + cfg_.ctrlMsgBytes, at);
-    return {dataAt, words};
+    llc_.accessAsync(line, t,
+                     [this, line, fromNvm,
+                      finish = std::move(finish)](Cycle at) {
+                         if (fromNvm)
+                             at = nvm_.read(line, at);
+                         finish(at);
+                     });
 }
 
 // --------------------------------------------------------------------
@@ -386,10 +513,11 @@ SlcProtocol::invalidateBelow(CoreId newHead, LineAddr line, Cycle t,
                          << v.dirty << ")");
             trace::instant(trace::Event::SlcInvalidate, cur, t, line,
                            v.dirty);
-            // Background invalidation message (traffic accounting only;
-            // write permission was already granted at link-up, OBS 3).
-            bus_.arrival(bus_.bankNode(bankOf(line)), bus_.coreNode(cur),
-                        cfg_.ctrlMsgBytes, t);
+            // Background invalidation: a real fire-and-forget message
+            // (write permission was already granted at link-up, OBS 3,
+            // so nothing waits on its arrival).
+            bus_.send(bus_.bankNode(bankOf(line)), bus_.coreNode(cur),
+                      cfg_.ctrlMsgBytes, t, [] {});
             if (v.dirty) {
                 if (cur != alreadyExposed)
                     hooks_->onDirtyExpose(cur, line, newHead, true, t);

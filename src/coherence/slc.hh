@@ -19,9 +19,14 @@
  * Write permission is granted at link-up (OBS 3: reduced L1 exclusion
  * time); invalidations propagate in the background.
  *
- * Timing model: transaction-atomic (see coherence/protocol.hh).  State
- * commits at directory dispatch; message legs and queued resources
- * produce the completion cycles.
+ * Timing model: state commits at directory dispatch (see coherence/
+ * protocol.hh), while the timing legs are real timestamped messages:
+ * forward requests, data replies and permission grants travel as
+ * MessageBus sends whose arrival events fire the requester's
+ * completion; memory fills defer the line's serializer slot until the
+ * LLC pipe answers (coherence/directory.hh).  Background traffic
+ * (teardown notifications, persist writebacks) keeps folded arrival()
+ * legs.
  */
 
 #ifndef TSOPER_COHERENCE_SLC_HH
@@ -33,6 +38,7 @@
 
 #include "coherence/directory.hh"
 #include "coherence/protocol.hh"
+#include "coherence/txn.hh"
 #include "mem/cache_array.hh"
 #include "mem/llc.hh"
 #include "mem/nvm.hh"
@@ -145,10 +151,36 @@ class SlcProtocol : public CoherenceProtocol
     void submitTxn(CoreId core, LineAddr line, LineSerializer::Body body,
                    Cycle departAt);
 
-    /** Transaction bodies (run at directory dispatch). */
-    Cycle loadTxn(CoreId core, Addr addr, LoadDone done, Cycle t);
-    Cycle storeTxn(CoreId core, Addr addr, StoreId store, StoreDone done,
-                   Cycle t);
+    /** Transaction bodies (run at directory dispatch).  nullopt means
+     *  the body deferred: a memory fill holds the line until the LLC
+     *  pipe reply frees it via LineSerializer::releaseAt. */
+    std::optional<Cycle> loadTxn(CoreId core, Addr addr, LoadDone done,
+                                 Cycle t);
+    std::optional<Cycle> storeTxn(CoreId core, Addr addr, StoreId store,
+                                  StoreDone done, Cycle t);
+
+    /**
+     * MSHR gate for the miss paths: returns true when the access may
+     * proceed (allocating a register and wrapping *done's* completion
+     * to free it), false when all of @p core's registers are busy and
+     * @p retry was parked.  A line already tracked passes through
+     * unwrapped — it is a retry or secondary miss of the in-flight
+     * primary, whose completion frees the register.
+     */
+    template <typename Done>
+    bool mshrAdmit(CoreId core, LineAddr line, Done *done,
+                   std::function<void()> retry);
+
+    /**
+     * Timing tail of a decomposed memory fill, starting from the LLC
+     * pipe: async bank access, an NVM read behind it on an LLC miss,
+     * then the data leg to the requester.  Runs at the directory; the
+     * functional contents were resolved at dispatch.  @p finish runs
+     * when the fill data is at the bank (the data leg's departure
+     * instant) with the departure cycle.
+     */
+    void fillTiming(LineAddr line, Cycle t, bool fromNvm,
+                    std::function<void(Cycle)> finish);
 
     /**
      * Handle a blocked transaction: the core's own node is invalid and
@@ -161,10 +193,6 @@ class SlcProtocol : public CoherenceProtocol
     bool mustWaitForOwnNode(CoreId core, LineAddr line,
                             std::function<void()> retry, Cycle t,
                             bool *relinked = nullptr);
-
-    /** Fetch timing + contents when no valid cached copy exists. */
-    std::pair<Cycle, LineWords> fetchFromMemory(CoreId core, LineAddr line,
-                                                Cycle t);
 
     /** Prepend @p core as the new head of @p line's list. */
     Node &prependNode(CoreId core, LineAddr line);
@@ -217,6 +245,7 @@ class SlcProtocol : public CoherenceProtocol
     StatsRegistry &stats_;
     LineSerializer serializer_;
     DirectoryCapacity capacity_;
+    Mshr mshr_;
     unsigned banks_;
     Cycle dirLatency_ = 6;
 

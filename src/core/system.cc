@@ -16,7 +16,7 @@ namespace tsoper
 
 System::System(const SystemConfig &cfg, const Workload &workload)
     : cfg_(cfg),
-      kernel_(/*shards=*/1, std::max(1u, cfg_.threads),
+      kernel_(/*shards=*/1 + cfg_.llcBanks, std::max(1u, cfg_.threads),
               std::max<Cycle>(1, cfg_.hopLatency)),
       eq_(kernel_.shard(0)),
       fence_(cfg_.meshCols * cfg_.meshRows, /*shard=*/0),
@@ -29,7 +29,16 @@ System::System(const SystemConfig &cfg, const Workload &workload)
       llc_(cfg_, nvm_, stats_), sync_(cfg_.numCores, eq_)
 {
     cfg_.validate();
+    // Data-plane shards: every LLC bank's access pipe lives on its own
+    // shard, reached through virtual fence nodes appended after the
+    // physical mesh (node meshNodes+b -> shard 1+b).  All functional
+    // and control state stays on shard 0.
+    const unsigned meshNodes = cfg_.meshCols * cfg_.meshRows;
+    for (unsigned b = 0; b < cfg_.llcBanks; ++b)
+        fence_.setOwner(meshNodes + b, 1 + b);
     kernel_.setFenceMap(&fence_);
+    llc_.attachDataPlane(&kernel_, /*firstShard=*/1,
+                         /*firstFenceNode=*/meshNodes);
     if (!cfg_.traceCategories.empty())
         trace::setCategories(cfg_.traceCategories);
     if (cfg_.flightRecorderDepth > 0)
@@ -129,6 +138,10 @@ System::run(Cycle maxCycles)
     runGuarded(kernel_, [&drained] { return drained; }, maxCycles,
                watchdog, progress, dump, "persistency drain");
     stats_.counter("sys.drain_cycles").inc(eq_.now() - finish);
+    // Kernel observables: both are pure functions of queue state, so
+    // they are part of the byte-identical-across-threads contract.
+    stats_.counter("sys.kernel_windows").inc(kernel_.windows());
+    stats_.counter("sys.kernel_cross_posts").inc(kernel_.crossPosts());
     return finish;
 }
 
@@ -151,9 +164,9 @@ System::runUntilCrash(Cycle crashAt)
     ProgressWatchdog dog(watchdog);
     const std::function<bool()> never = [] { return false; };
     for (;;) {
-        const std::uint64_t before = eq_.executed();
+        const std::uint64_t before = kernel_.executed();
         kernel_.runFor(never, crashAt, watchdog.checkEveryEvents);
-        if (eq_.executed() == before || eq_.empty())
+        if (kernel_.executed() == before || kernel_.empty())
             break; // passed crashAt, or the machine went idle
         const std::string reason =
             dog.check(progressSignature(), eq_.now());
@@ -211,8 +224,8 @@ System::dumpState() const
     std::ostringstream os;
     os << "machine state: engine=" << toString(cfg_.engine)
        << " protocol=" << toString(cfg_.protocol) << " cycle="
-       << eq_.now() << " events=" << eq_.executed() << " pending="
-       << eq_.pending() << "\n";
+       << kernel_.now() << " events=" << kernel_.executed()
+       << " pending=" << kernel_.pending() << "\n";
     for (unsigned c = 0; c < cfg_.numCores; ++c) {
         const Cpu &cpu = *cpus_[c];
         os << "  core " << c << ": " << cpu.opsRetired() << "/"

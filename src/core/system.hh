@@ -111,21 +111,25 @@ class System
     SystemConfig cfg_;
     StatsRegistry stats_;
     /**
-     * The event kernel.  Staged sharding (docs/pdes.md): the machine
-     * currently maps onto ONE shard — the protocols' transaction-
-     * atomic timing model couples tiles within a transaction — so the
-     * kernel degenerates to the sequential EventQueue regardless of
-     * cfg.threads, and fixed-seed stats are byte-identical at any
-     * thread count by construction.  The multi-shard/multi-thread
-     * machinery is exercised by the kernel unit tests and
-     * tsoper_bench --threads; the shard fence (armed here) keeps all
-     * cross-tile traffic on the message path so tiles can migrate to
-     * their own shards without re-auditing the components.
+     * The event kernel: 1 + llcBanks shards (docs/pdes.md "Multi-shard
+     * operation").  Shard 0 owns every functional and control
+     * component — cores, store buffers, protocols, directory, NVM,
+     * stats, tracing — while each LLC bank's access pipe (its
+     * busy-until chain) runs on shard 1+b, reached only through
+     * timestamped messages with >= one hop of delay each way
+     * (Llc::accessAsync).  Directory transactions decompose into
+     * message legs (coherence/txn.hh), so the pipes overlap with
+     * shard 0 under the conservative window scheme, and fixed-seed
+     * stats stay byte-identical at any cfg.threads because each
+     * shard's event order is deterministic and the barrier drain
+     * orders cross-shard messages by (source shard, post order).
      */
     ShardedEventQueue kernel_;
-    /** Shard 0's queue: the components' scheduling interface. */
+    /** Shard 0's queue: the functional components' scheduling
+     *  interface. */
     EventQueue &eq_;
-    /** Tile-ownership map for the shard fence (all tiles -> shard 0). */
+    /** Tile-ownership map for the shard fence: physical mesh nodes ->
+     *  shard 0, virtual data-plane nodes meshNodes+b -> shard 1+b. */
     ShardFenceMap fence_;
     /** Timestamps warn/panic lines with eq_'s cycle while we're live. */
     ScopedLogCycleSource logCycle_;

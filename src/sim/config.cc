@@ -114,6 +114,13 @@ SystemConfig::validate() const
     if (threads > 1 && hopLatency == 0)
         tsoper_fatal("threads > 1 requires a positive hop latency "
                      "(the sharded kernel's lookahead)");
+    if (mshrEntries == 0)
+        tsoper_fatal("a core needs at least one MSHR entry");
+    if (llcLatency < 2 * hopLatency)
+        tsoper_fatal("llcLatency (", llcLatency,
+                     ") must be at least twice hopLatency (", hopLatency,
+                     "): the LLC data-plane pipe spends one hop each "
+                     "way inside the access latency");
 }
 
 void

@@ -61,6 +61,10 @@ struct SystemConfig
     unsigned privSets = 1024;   ///< 512 KiB, 8-way, 64 B lines.
     unsigned privWays = 8;
     Cycle privLatency = 4;      ///< Hit latency, cycles.
+    /** Miss-status holding registers per core: distinct lines a core
+     *  may have missing in flight; further misses to new lines stall
+     *  and retry as registers free (mshr.full_stalls counts them). */
+    unsigned mshrEntries = 8;
 
     // --- Shared LLC ------------------------------------------------
     unsigned llcBanks = 8;

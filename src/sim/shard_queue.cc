@@ -47,6 +47,7 @@ ShardedEventQueue::ShardedEventQueue(unsigned shards, unsigned threads,
     for (unsigned s = 0; s < shards; ++s)
         queues_.push_back(std::make_unique<EventQueue>());
     outboxes_ = std::vector<Outbox>(shards);
+    limits_ = std::vector<Cycle>(shards, 0);
     threads_ = std::clamp(threads, 1u, shards);
     for (unsigned w = 1; w < threads_; ++w)
         pool_.emplace_back([this, w] { workerLoop(w); });
@@ -89,6 +90,19 @@ ShardedEventQueue::post(unsigned src, unsigned dst, Cycle delay,
             queues_[src]->schedule(when, std::move(fn));
         } else {
             outboxes_[src].msgs.push_back({dst, when, std::move(fn)});
+            // Window contraction: the receiver may react to this
+            // message at @p when and send a consequence arriving here
+            // no earlier than when + lookahead.  The uneven window
+            // limit was computed from queue state at the barrier —
+            // before this message existed — so the sender must now
+            // stop short of that first possible consequence.  Only
+            // the worker executing @p src touches limits_[src]
+            // mid-window, so the plain store is race-free.
+            const Cycle bound = when > maxCycle_ - lookahead_
+                                    ? maxCycle_
+                                    : when + lookahead_ - 1;
+            if (bound < limits_[src])
+                limits_[src] = bound;
         }
         return;
     }
@@ -115,16 +129,58 @@ ShardedEventQueue::horizon(Cycle *h) const
     return any;
 }
 
-void
-ShardedEventQueue::executeShards(unsigned w, Cycle limit)
+unsigned
+ShardedEventQueue::computeWindowLimits(Cycle maxCycle)
 {
-    for (unsigned s = w; s < shards(); s += threads_) {
+    // min1/min2: the two earliest next-event cycles across shards.
+    // A shard sitting at min1 is bounded by the runner-up (plus
+    // lookahead-1); every other shard is bounded by min1.  Idle
+    // shards impose no bound, so a lone active shard runs to
+    // maxCycle without further barriers.
+    Cycle min1 = maxCycle_, min2 = maxCycle_;
+    for (const auto &q : queues_) {
+        Cycle when;
+        if (!q->nextEventAt(&when))
+            continue;
+        if (when < min1) {
+            min2 = min1;
+            min1 = when;
+        } else if (when < min2) {
+            min2 = when;
+        }
+    }
+    unsigned active = 0;
+    for (unsigned s = 0; s < shards(); ++s) {
+        Cycle when;
+        if (!queues_[s]->nextEventAt(&when)) {
+            limits_[s] = 0;
+            continue;
+        }
+        const Cycle bound = when == min1 ? min2 : min1;
+        const Cycle limit =
+            bound >= maxCycle_ - (lookahead_ ? lookahead_ - 1 : 0)
+                ? maxCycle_
+                : bound + (lookahead_ ? lookahead_ - 1 : 0);
+        limits_[s] = std::min(maxCycle, limit);
+        if (when <= limits_[s])
+            ++active;
+    }
+    return active;
+}
+
+void
+ShardedEventQueue::executeShards(unsigned w, unsigned stride)
+{
+    for (unsigned s = w; s < shards(); s += stride) {
         EventQueue &q = *queues_[s];
         if (q.empty())
             continue;
         ShardFenceScope fence(fenceMap_, s);
         BurstScope burst(this, s);
-        q.run(limit);
+        // limits_[s] is read afresh before every event: post()
+        // tightens it when this shard sends a cross-shard message,
+        // closing the transient-message hazard (see post()).
+        q.runBounded(limits_[s], windowEventCap_);
     }
 }
 
@@ -136,6 +192,8 @@ ShardedEventQueue::drainOutboxes()
     // breaks — depend only on simulation state, never on which worker
     // ran what when.
     for (Outbox &ob : outboxes_) {
+        if (ob.msgs.empty())
+            continue;
         for (PostRec &rec : ob.msgs) {
             queues_[rec.dst]->schedule(rec.when, std::move(rec.fn));
             ++crossPosts_;
@@ -149,7 +207,6 @@ ShardedEventQueue::workerLoop(unsigned w)
 {
     std::uint64_t seen = 0;
     for (;;) {
-        Cycle limit;
         {
             std::unique_lock<std::mutex> lk(m_);
             cvStart_.wait(lk,
@@ -157,11 +214,10 @@ ShardedEventQueue::workerLoop(unsigned w)
             if (stop_)
                 return;
             seen = generation_;
-            limit = windowLimit_;
         }
         std::exception_ptr err;
         try {
-            executeShards(w, limit);
+            executeShards(w, threads_);
         } catch (...) {
             err = std::current_exception();
         }
@@ -176,23 +232,28 @@ ShardedEventQueue::workerLoop(unsigned w)
 }
 
 void
-ShardedEventQueue::executeWindow(Cycle limit)
+ShardedEventQueue::executeWindow(unsigned active)
 {
-    if (threads_ == 1) {
-        executeShards(0, limit);
+    // One active shard cannot race anybody: run everything on the
+    // calling thread and skip the pool wake + barrier entirely.
+    // This is the common shape when activity concentrates on one
+    // tile, and — because `active` is a function of queue state
+    // alone — the shortcut is taken identically at every worker
+    // count, preserving determinism.
+    if (threads_ == 1 || active <= 1) {
+        executeShards(0, 1);
         drainOutboxes();
         return;
     }
     {
         std::lock_guard<std::mutex> lk(m_);
-        windowLimit_ = limit;
         running_ = threads_ - 1;
         ++generation_;
     }
     cvStart_.notify_all();
     std::exception_ptr err;
     try {
-        executeShards(0, limit);
+        executeShards(0, threads_);
     } catch (...) {
         err = std::current_exception();
     }
@@ -227,9 +288,14 @@ ShardedEventQueue::windowLoop(const std::function<bool()> &pred,
             break;
         if (h > maxCycleArg)
             break;
-        const Cycle limit =
-            std::min(maxCycleArg, h + (lookahead_ ? lookahead_ - 1 : 0));
-        executeWindow(limit);
+        const unsigned active = computeWindowLimits(maxCycleArg);
+        if (active == 0)
+            break;
+        // Cap each shard's window at the remaining event budget so an
+        // unbounded uneven window still honors runFor's contract; the
+        // cap is barrier-time state, hence worker-count independent.
+        windowEventCap_ = budget - executed();
+        executeWindow(active);
         ++windows_;
     }
     return now();

@@ -12,15 +12,26 @@
  * can land sooner than one hop.
  *
  * Synchronization is the simple conservative scheme (barrier-window
- * advance, picked over null-messages per ROADMAP item 2):
+ * advance, picked over null-messages per ROADMAP item 2), with
+ * *uneven* per-shard windows:
  *
- *   1. horizon H = min over shards of the next pending event cycle;
- *   2. every shard executes its events in the window [H, H+L)
- *      (L = lookahead) in parallel — safe because a message sent
- *      from inside the window arrives no earlier than H+L;
+ *   1. at each barrier, T_s = shard s's next pending event cycle
+ *      (unbounded if s is idle);
+ *   2. every shard executes events up to its own limit
+ *          limit_s = min over o != s of T_o, plus L-1
+ *      (L = lookahead) in parallel — safe because the earliest
+ *      message any other shard o can still produce departs at or
+ *      after T_o and so arrives at or after T_o + L > limit_s;
  *   3. barrier: cross-shard messages accumulated in per-shard
  *      outboxes are drained into their destination queues in shard
  *      order, then the loop repeats.
+ *
+ * Uneven limits generalize the classic uniform window [H, H+L)
+ * (H = min T_s): the shard *at* the horizon gets a limit derived
+ * from the second-earliest shard, and when every other shard is
+ * idle its limit is unbounded — so activity concentrated on one
+ * shard runs barrier-free at plain-EventQueue speed instead of
+ * paying a window per L cycles.
  *
  * Determinism: within a window each shard executes its own (cycle,
  * seq)-ordered queue sequentially, and the barrier drain assigns
@@ -116,9 +127,11 @@ class ShardedEventQueue
 
     /**
      * Like runUntil, but additionally stops once at least
-     * @p maxEvents events have executed — checked at window barriers
-     * with multiple shards, so a burst may overshoot by up to one
-     * window's worth of events.
+     * @p maxEvents events have executed.  With multiple shards the
+     * budget is checked at window barriers and each shard's window
+     * is individually capped at the remaining budget, so a burst may
+     * overshoot by at most (shards-1) times the remaining budget —
+     * in particular an unbounded uneven window still returns.
      */
     Cycle runFor(const std::function<bool()> &pred, Cycle maxCycle,
                  std::uint64_t maxEvents);
@@ -159,12 +172,22 @@ class ShardedEventQueue
     /** Earliest pending event cycle across shards; false if none. */
     bool horizon(Cycle *h) const;
 
-    /** Execute one window: all shards run events <= @p limit in
-     *  parallel, then outboxes drain in shard order. */
-    void executeWindow(Cycle limit);
+    /**
+     * Fill limits_[s] with each shard's safe execution limit for the
+     * next window (min over other shards' next-event cycles, plus
+     * lookahead-1, capped at @p maxCycle) and return the number of
+     * shards with work inside their limit.  Purely a function of
+     * queue state, so identical at every worker count.
+     */
+    unsigned computeWindowLimits(Cycle maxCycle);
 
-    /** Worker @p w's share of the window ending at windowLimit_. */
-    void executeShards(unsigned w, Cycle limit);
+    /** Execute one window: all shards run events up to their
+     *  per-shard limits_ in parallel, then outboxes drain in shard
+     *  order.  @p active is computeWindowLimits' shard count. */
+    void executeWindow(unsigned active);
+
+    /** Shards w, w+stride, ... of the window bounded by limits_. */
+    void executeShards(unsigned w, unsigned stride);
 
     void drainOutboxes();
 
@@ -176,6 +199,11 @@ class ShardedEventQueue
 
     std::vector<std::unique_ptr<EventQueue>> queues_;
     std::vector<Outbox> outboxes_;
+    /** Per-shard window limits, recomputed at every barrier. */
+    std::vector<Cycle> limits_;
+    /** Per-shard event cap for the current window: keeps runFor's
+     *  event budget meaningful when an uneven window is unbounded. */
+    std::uint64_t windowEventCap_ = 0;
     const Cycle lookahead_;
     unsigned threads_ = 1;
     const ShardFenceMap *fenceMap_ = nullptr;
@@ -190,7 +218,6 @@ class ShardedEventQueue
     std::condition_variable cvDone_;
     std::uint64_t generation_ = 0; ///< Bumped to launch a window.
     unsigned running_ = 0;         ///< Pool workers still in-window.
-    Cycle windowLimit_ = 0;
     bool stop_ = false;
     /** First exception thrown by a pool worker's events; rethrown on
      *  the coordinator after the window barrier. */

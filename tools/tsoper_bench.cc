@@ -11,13 +11,19 @@
  * Options:
  *   --out=<file>     output path            (default BENCH_kernel.json)
  *   --quick          ~20x fewer events; for CI smoke, not for numbers
- *   --repeat=<n>     repetitions per pattern, best kept (default 3)
- *   --threads=<csv>  thread counts for the pdes sweep (default 1,2,4,8)
+ *   --repeat=<n>     repetitions per pattern (default 3)
+ *   --median         keep the median-wall-clock repetition instead of
+ *                    the fastest (steadier on noisy/shared hosts)
+ *   --threads=<csv>  thread counts for the pdes sweep (default 1,2,4,8;
+ *                    points above the host CPU count warn — they
+ *                    measure contention, not scaling)
  *   --verify-out     re-read the emitted JSON and validate the schema
  *
- * Schema ("schema": "tsoper.bench.kernel/v2"):
+ * Schema ("schema": "tsoper.bench.kernel/v3"):
  *   {
  *     "schema": "...", "quick": bool,
+ *     "provenance": {"git_sha": s, "hostname": s, "cpu_model": s,
+ *                    "cmake_preset": s, "build_type": s},
  *     "micro": {"<pattern>": {"events": u, "wall_seconds": f,
  *                             "events_per_sec": f}, ...},
  *     "pdes": {"shards": u, "lookahead": u, "host_cpus": u,
@@ -32,10 +38,15 @@
  * (sim/shard_queue.hh) at each thread count; "speedup" is relative to
  * the sweep's threads=1 entry.  host_cpus records how many CPUs the
  * measuring host actually had — speedups are only meaningful up to
- * that bound (docs/pdes.md).
+ * that bound (docs/pdes.md).  provenance records where the numbers came
+ * from (dirty trees get a "-dirty" sha suffix) so a committed
+ * BENCH_kernel.json is never mystery data; preset/build type are baked
+ * in at compile time, the rest is read at run time, best effort —
+ * fields degrade to "unknown", never fail the run.
  * docs/perf.md documents how to read and track these numbers.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -45,10 +56,19 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "core/system.hh"
 #include "kernel_patterns.hh"
 #include "sim/json.hh"
 #include "workload/generators.hh"
+
+#ifndef TSOPER_BENCH_PRESET
+#define TSOPER_BENCH_PRESET "unknown"
+#endif
+#ifndef TSOPER_BENCH_BUILD_TYPE
+#define TSOPER_BENCH_BUILD_TYPE "unknown"
+#endif
 
 using namespace tsoper;
 
@@ -63,27 +83,94 @@ secondsSince(std::chrono::steady_clock::time_point start)
         .count();
 }
 
-/** Run @p body @p repeat times; keep the fastest (events, seconds). */
+/** Pick the reported wall-clock from @p samples: the fastest, or with
+ *  @p median the median (lower middle for even counts — an actual
+ *  measured run, not an average of two). */
+double
+keptSeconds(std::vector<double> samples, bool median)
+{
+    std::sort(samples.begin(), samples.end());
+    return median ? samples[(samples.size() - 1) / 2] : samples.front();
+}
+
+/** Run @p body @p repeat times; report one (events, seconds) sample
+ *  selected per @p median.  The event count is a pure function of the
+ *  pattern, so any run's count serves. */
 Json
-timeBest(unsigned repeat, const std::function<std::uint64_t()> &body)
+timeRuns(unsigned repeat, bool median,
+         const std::function<std::uint64_t()> &body)
 {
     std::uint64_t events = 0;
-    double best = 0.0;
+    std::vector<double> secs;
+    secs.reserve(repeat);
     for (unsigned r = 0; r < repeat; ++r) {
         const auto start = std::chrono::steady_clock::now();
-        const std::uint64_t n = body();
-        const double secs = secondsSince(start);
-        if (r == 0 || secs < best) {
-            best = secs;
-            events = n;
-        }
+        events = body();
+        secs.push_back(secondsSince(start));
     }
+    const double kept = keptSeconds(std::move(secs), median);
     Json entry = Json::object();
     entry.set("events", events);
-    entry.set("wall_seconds", best);
+    entry.set("wall_seconds", kept);
     entry.set("events_per_sec",
-              best > 0.0 ? static_cast<double>(events) / best : 0.0);
+              kept > 0.0 ? static_cast<double>(events) / kept : 0.0);
     return entry;
+}
+
+/** First output line of @p cmd, or "" if it fails to run. */
+std::string
+firstLineOf(const char *cmd)
+{
+    FILE *pipe = popen(cmd, "r");
+    if (!pipe)
+        return "";
+    char buf[256] = {};
+    const bool got = std::fgets(buf, sizeof(buf), pipe) != nullptr;
+    const int status = pclose(pipe);
+    if (!got || status != 0)
+        return "";
+    std::string line(buf);
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
+        line.pop_back();
+    return line;
+}
+
+Json
+buildProvenance()
+{
+    Json p = Json::object();
+    std::string sha =
+        firstLineOf("git rev-parse --short=12 HEAD 2>/dev/null");
+    if (!sha.empty() &&
+        !firstLineOf("git status --porcelain 2>/dev/null").empty())
+        sha += "-dirty";
+    p.set("git_sha", sha.empty() ? "unknown" : sha);
+
+    char host[256] = {};
+    p.set("hostname",
+          gethostname(host, sizeof(host) - 1) == 0 && host[0] != '\0'
+              ? host
+              : "unknown");
+
+    std::string cpu = "unknown";
+    std::ifstream cpuinfo("/proc/cpuinfo");
+    for (std::string line; std::getline(cpuinfo, line);) {
+        if (line.rfind("model name", 0) == 0) {
+            const std::size_t colon = line.find(':');
+            if (colon != std::string::npos) {
+                std::size_t begin = colon + 1;
+                while (begin < line.size() && line[begin] == ' ')
+                    ++begin;
+                cpu = line.substr(begin);
+            }
+            break;
+        }
+    }
+    p.set("cpu_model", cpu);
+
+    p.set("cmake_preset", TSOPER_BENCH_PRESET);
+    p.set("build_type", TSOPER_BENCH_BUILD_TYPE);
+    return p;
 }
 
 bool
@@ -91,9 +178,23 @@ verifyDocument(const Json &doc, std::string *err)
 {
     const Json *schema = doc.find("schema");
     if (!schema || !schema->isString() ||
-        schema->asString() != "tsoper.bench.kernel/v2") {
+        schema->asString() != "tsoper.bench.kernel/v3") {
         *err = "missing or wrong schema tag";
         return false;
+    }
+    const Json *prov = doc.find("provenance");
+    if (!prov || !prov->isObject()) {
+        *err = "missing provenance block";
+        return false;
+    }
+    for (const char *field : {"git_sha", "hostname", "cpu_model",
+                              "cmake_preset", "build_type"}) {
+        const Json *v = prov->find(field);
+        if (!v || !v->isString() || v->asString().empty()) {
+            *err = std::string("provenance.") + field +
+                   " missing or empty";
+            return false;
+        }
     }
     const Json *micro = doc.find("micro");
     if (!micro || !micro->isObject() || micro->size() < 3) {
@@ -164,6 +265,7 @@ main(int argc, char **argv)
     std::string out = "BENCH_kernel.json";
     bool quick = false;
     bool verifyOut = false;
+    bool median = false;
     unsigned repeat = 3;
     std::vector<unsigned> threadList = {1, 2, 4, 8};
     for (int i = 1; i < argc; ++i) {
@@ -176,6 +278,8 @@ main(int argc, char **argv)
             verifyOut = true;
         } else if (arg.rfind("--repeat=", 0) == 0) {
             repeat = static_cast<unsigned>(std::stoul(arg.substr(9)));
+        } else if (arg == "--median") {
+            median = true;
         } else if (arg.rfind("--threads=", 0) == 0) {
             threadList.clear();
             std::stringstream ts(arg.substr(10));
@@ -190,7 +294,8 @@ main(int argc, char **argv)
             }
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: tsoper_bench [--out=F] [--quick] "
-                        "[--repeat=N] [--threads=CSV] [--verify-out]\n");
+                        "[--repeat=N] [--median] [--threads=CSV] "
+                        "[--verify-out]\n");
             return 0;
         } else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
@@ -204,8 +309,9 @@ main(int argc, char **argv)
         repeat = 1;
 
     Json doc = Json::object();
-    doc.set("schema", "tsoper.bench.kernel/v2");
+    doc.set("schema", "tsoper.bench.kernel/v3");
     doc.set("quick", quick);
+    doc.set("provenance", buildProvenance());
 
     Json micro = Json::object();
     struct Pattern
@@ -223,7 +329,7 @@ main(int argc, char **argv)
     };
     for (const Pattern &p : patterns) {
         Json entry =
-            timeBest(repeat, [&] { return p.fn(microEvents); });
+            timeRuns(repeat, median, [&] { return p.fn(microEvents); });
         std::printf("%-18s %12.0f events/s (%.3fs, %llu events)\n",
                     p.name, entry["events_per_sec"].asDouble(),
                     entry["wall_seconds"].asDouble(),
@@ -246,8 +352,17 @@ main(int argc, char **argv)
                      std::thread::hardware_concurrency()));
         Json sweep = Json::array();
         double baseline = 0.0;
+        const unsigned hw =
+            std::max(1u, std::thread::hardware_concurrency());
         for (const unsigned t : threadList) {
-            Json entry = timeBest(repeat, [&] {
+            if (t > hw)
+                std::fprintf(stderr,
+                             "warning: sweep point threads=%u "
+                             "oversubscribes the %u hardware CPU%s — "
+                             "its speedup measures contention, not "
+                             "scaling\n",
+                             t, hw, hw == 1 ? "" : "s");
+            Json entry = timeRuns(repeat, median, [&] {
                 return bench::patternMixedLatencySharded(
                     microEvents, shards, t, lookahead);
             });
@@ -282,30 +397,29 @@ main(int argc, char **argv)
         Json cell = Json::object();
         std::uint64_t events = 0;
         Cycle cycles = 0;
-        double best = 0.0;
+        std::vector<double> secs;
+        secs.reserve(repeat);
         for (unsigned r = 0; r < repeat; ++r) {
             const auto start = std::chrono::steady_clock::now();
             System sys(cfg, w);
             cycles = sys.run();
-            const double secs = secondsSince(start);
-            if (r == 0 || secs < best) {
-                best = secs;
-                events = sys.eventQueue().executed();
-            }
+            secs.push_back(secondsSince(start));
+            events = sys.eventQueue().executed();
         }
+        const double kept = keptSeconds(std::move(secs), median);
         cell.set("engine", "tsoper");
         cell.set("bench", "ocean_cp");
         cell.set("seed", seed);
         cell.set("scale", fig11Scale);
         cell.set("cycles", static_cast<std::uint64_t>(cycles));
         cell.set("events", events);
-        cell.set("wall_seconds", best);
+        cell.set("wall_seconds", kept);
         cell.set("events_per_sec",
-                 best > 0.0 ? static_cast<double>(events) / best : 0.0);
+                 kept > 0.0 ? static_cast<double>(events) / kept : 0.0);
         std::printf("%-18s %12.0f events/s (%.3fs, %llu events, "
                     "%llu cycles)\n",
                     "fig11_cell", cell["events_per_sec"].asDouble(),
-                    best, static_cast<unsigned long long>(events),
+                    kept, static_cast<unsigned long long>(events),
                     static_cast<unsigned long long>(cycles));
         doc.set("fig11", std::move(cell));
     }

@@ -24,7 +24,9 @@
  *   --seed=<n>             workload seed        (default 1)
  *   --cores=<n>            core count           (default 8)
  *   --threads=<n>          event-kernel threads (default 1; results
- *                          are byte-identical at any value)
+ *                          are byte-identical at any value; clamped to
+ *                          the hardware CPU count with a warning
+ *                          unless TSOPER_FORCE_THREADS is set)
  *   --ag-max-lines=<n>     atomic group cap
  *   --agb-slice-lines=<n>  AGB slice capacity
  *   --crash-at=<c|f>       crash at cycle c (>1) or fraction f of the
@@ -72,7 +74,9 @@
 #include <algorithm>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <thread>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -180,8 +184,8 @@ usage(int code)
 {
     std::printf("usage: tsoper_sim [--engine=E] [--bench=B|--trace=F] "
                 "[--scale=F] [--seed=N]\n"
-                "                  [--cores=N] [--crash-at=C] [--check] "
-                "[--stats] [--stats-out=F]\n"
+                "                  [--cores=N] [--threads=N] [--crash-at=C] "
+                "[--check] [--stats] [--stats-out=F]\n"
                 "                  [--stats-json=F] [--result-json=F] "
                 "[--max-cycles=N]\n"
                 "                  [--trace-out=F] [--trace-categories=C] "
@@ -287,10 +291,27 @@ parseCli(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    const CliOptions opt = parseCli(argc, argv);
+    CliOptions opt = parseCli(argc, argv);
 
     if (!opt.selftest.empty())
         runSelftest(opt.selftest);
+
+    // Oversubscribing the kernel's worker pool only burns wall-clock
+    // (results are byte-identical at any thread count), so clamp to
+    // the hardware unless the user insists — the determinism ctests
+    // insist, since CI hosts may expose a single CPU.
+    if (opt.run.threads > 1 && !std::getenv("TSOPER_FORCE_THREADS")) {
+        const unsigned hw =
+            std::max(1u, std::thread::hardware_concurrency());
+        if (opt.run.threads > hw) {
+            std::fprintf(stderr,
+                         "warning: --threads=%u exceeds the %u hardware "
+                         "CPU%s; clamping (TSOPER_FORCE_THREADS=1 "
+                         "forces oversubscription)\n",
+                         opt.run.threads, hw, hw == 1 ? "" : "s");
+            opt.run.threads = hw;
+        }
+    }
 
     if (opt.listBenchmarks) {
         for (const Profile &p : allProfiles())
